@@ -1,0 +1,11 @@
+"""Benchmark suite configuration."""
+
+import numpy as np
+import pytest
+
+import repro.framework.layers  # noqa: F401  (register layer types)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

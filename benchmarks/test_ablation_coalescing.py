@@ -1,0 +1,70 @@
+"""Ablation: loop coalescing vs batch-only parallelization.
+
+Section 3.2.1 motivates the coalescing transformation with work
+imbalance: one batch iteration is a very heavy work unit, so thread
+counts that do not divide the batch leave whole-iteration bubbles.
+This ablation quantifies the imbalance and the resulting modelled
+speedups with and without coalescing on the paper's layer shapes.
+"""
+
+import pytest
+
+from repro.bench import emit, lenet_costs, models
+from repro.core.coalesce import CoalescedSpace
+
+# Representative coalescable nests from the two networks:
+# (name, batch, inner dims coalesced by Algorithm 4)
+NESTS = [
+    ("lenet pool1 (S,C)", 64, (20,)),
+    ("lenet pool2 (S,C)", 64, (50,)),
+    ("cifar pool1 (S,C)", 100, (32,)),
+    ("cifar relu1 (S,C,H,W)", 100, (32, 16, 16)),
+]
+
+THREADS = (2, 4, 8, 12, 16, 24)
+
+
+def build_table() -> str:
+    lines = [f"{'nest':<26}" + "".join(f"{t:>7}T" for t in THREADS)]
+    for name, batch, inner in NESTS:
+        batch_only = CoalescedSpace((batch,))
+        coalesced = CoalescedSpace((batch,) + inner)
+        row_a = "".join(
+            f"{batch_only.imbalance(t) * 100:7.1f}%" for t in THREADS
+        )
+        row_b = "".join(
+            f"{coalesced.imbalance(t) * 100:7.1f}%" for t in THREADS
+        )
+        lines.append(f"{name + ' [batch]':<26}" + row_a)
+        lines.append(f"{name + ' [coal.]':<26}" + row_b)
+    return "\n".join(lines)
+
+
+def test_coalescing_reduces_imbalance_everywhere():
+    for name, batch, inner in NESTS:
+        batch_only = CoalescedSpace((batch,))
+        coalesced = CoalescedSpace((batch,) + inner)
+        for threads in THREADS:
+            assert coalesced.imbalance(threads) <= \
+                batch_only.imbalance(threads) + 1e-12, (name, threads)
+    emit("ablation_coalescing", build_table())
+
+
+def test_imbalance_material_at_odd_thread_counts():
+    """batch 100 over 24 threads: batch-only wastes ~20%."""
+    assert CoalescedSpace((100,)).imbalance(24) > 0.15
+    assert CoalescedSpace((100, 32)).imbalance(24) < 0.01
+
+
+def test_modelled_speedup_gain(benchmark):
+    """Imbalance translates into modelled layer time: compare pool1 with
+    its (S*C) space against an artificial batch-only variant."""
+    import dataclasses
+    cpu = models()[0]
+    pool1 = next(c for c in lenet_costs() if c.key == "pool1.fwd")
+    batch_only = dataclasses.replace(pool1, space=64)
+    t_coalesced = cpu.layer_time(pool1, 24)
+    t_batch = cpu.layer_time(batch_only, 24)
+    assert t_coalesced <= t_batch * 1.001
+
+    benchmark(lambda: [cpu.layer_time(pool1, t) for t in THREADS])

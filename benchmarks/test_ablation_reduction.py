@@ -1,0 +1,89 @@
+"""Ablation: gradient merge strategies (ordered / atomic / tree /
+blockwise).
+
+The paper contrasts the ordered merge (deterministic, "the value
+obtained through the sequential execution") against the reduction-based
+alternative (valid, but not the same value under any thread count); we
+add the tree and blockwise extensions.  Real execution: determinism
+class and merge-time cost of each mode on the LeNet backward pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import emit
+from repro.core import ParallelExecutor
+from repro.zoo import build_net
+
+MODES = ("ordered", "atomic", "tree", "blockwise")
+
+
+def grads_for(state, mode, threads=4):
+    net = build_net("lenet")
+    net.load_state_dict(state)
+    with ParallelExecutor(num_threads=threads, reduction=mode) as executor:
+        net.clear_param_diffs()
+        executor.forward(net)
+        executor.backward(net)
+    return np.concatenate([b.flat_diff.copy() for b in net.learnable_params])
+
+
+def build_table(state, sequential) -> str:
+    lines = [f"{'mode':<11}{'rerun@4T':>12}{'vs seq':>10}{'vs 2T':>10}"]
+    for mode in MODES:
+        a = grads_for(state, mode, 4)
+        b = grads_for(state, mode, 4)
+        c = grads_for(state, mode, 2)
+        rerun = "bitwise" if np.array_equal(a, b) else "varies"
+        vs_seq = "bitwise" if np.array_equal(a, sequential) else "close"
+        vs_2t = "bitwise" if np.array_equal(a, c) else "close"
+        lines.append(f"{mode:<11}{rerun:>12}{vs_seq:>10}{vs_2t:>10}")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def state_and_seq():
+    net = build_net("lenet")
+    state = net.state_dict()
+    net.clear_param_diffs()
+    net.forward()
+    net.backward()
+    seq = np.concatenate([b.flat_diff.copy() for b in net.learnable_params])
+    return state, seq
+
+
+def test_determinism_classes(state_and_seq):
+    state, sequential = state_and_seq
+    # ordered & tree: deterministic per thread count
+    for mode in ("ordered", "tree", "blockwise"):
+        assert np.array_equal(grads_for(state, mode, 4),
+                              grads_for(state, mode, 4)), mode
+    # blockwise: additionally invariant ACROSS thread counts
+    assert np.array_equal(grads_for(state, "blockwise", 4), sequential)
+    assert np.array_equal(grads_for(state, "blockwise", 3), sequential)
+    # ordered at >1 threads only tracks sequential to fp reassociation
+    assert np.allclose(grads_for(state, "ordered", 4), sequential,
+                       rtol=1e-3, atol=1e-6)
+    emit("ablation_reduction", build_table(state, sequential))
+
+
+def test_all_modes_agree_numerically(state_and_seq):
+    state, sequential = state_and_seq
+    for mode in MODES:
+        assert np.allclose(grads_for(state, mode, 4), sequential,
+                           rtol=1e-3, atol=1e-6), mode
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_reduction_backward_benchmark(benchmark, mode, state_and_seq):
+    state, _ = state_and_seq
+    net = build_net("lenet")
+    net.load_state_dict(state)
+    with ParallelExecutor(num_threads=4, reduction=mode) as executor:
+        executor.forward(net)
+
+        def backward():
+            net.clear_param_diffs()
+            executor.backward(net)
+
+        benchmark(backward)

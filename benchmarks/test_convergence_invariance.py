@@ -1,0 +1,67 @@
+"""Convergence-invariance experiment (Sections 1 and 3.2.1).
+
+Real execution (no simulation): the training loss trajectory of the
+coarse-grain parallel run is compared against the sequential run for
+every reduction mode.  With the blockwise reduction it is bitwise
+identical at every thread count — the property the paper's ordered
+construct exists to protect ("developers use the loss value to monitor
+the correct evolution of the training process").
+"""
+
+import numpy as np
+
+from repro.bench import emit
+from repro.core import ParallelExecutor
+from repro.zoo import build_solver
+
+ITERS = 6
+
+
+def trajectory(threads: int, mode: str):
+    if threads == 0:
+        solver = build_solver("lenet", max_iter=ITERS)
+        solver.step(ITERS)
+        return solver.loss_history
+    with ParallelExecutor(num_threads=threads, reduction=mode) as executor:
+        solver = build_solver("lenet", max_iter=ITERS, executor=executor)
+        solver.step(ITERS)
+    return solver.loss_history
+
+
+def build_table() -> str:
+    seq = trajectory(0, "blockwise")
+    lines = [f"{'config':<22}" + "".join(f"iter{i:>2}     " for i in range(ITERS)),
+             f"{'sequential':<22}" + "".join(f"{v:10.6f}" for v in seq)]
+    for threads in (2, 4):
+        for mode in ("blockwise", "ordered", "atomic"):
+            traj = trajectory(threads, mode)
+            tag = "bitwise" if traj == seq else (
+                "close" if np.allclose(traj, seq, rtol=1e-3) else "DIVERGED"
+            )
+            lines.append(
+                f"{f'{threads}T {mode}':<22}"
+                + "".join(f"{v:10.6f}" for v in traj)
+                + f"  [{tag}]"
+            )
+    return "\n".join(lines)
+
+
+def test_blockwise_trajectory_bitwise_invariant():
+    seq = trajectory(0, "blockwise")
+    for threads in (2, 3, 4):
+        assert trajectory(threads, "blockwise") == seq
+    emit("convergence_invariance", build_table())
+
+
+def test_ordered_trajectory_tracks_sequential():
+    seq = np.array(trajectory(0, "ordered"))
+    par = np.array(trajectory(4, "ordered"))
+    assert np.allclose(seq, par, rtol=1e-3)
+
+
+def test_convergence_invariance_benchmark(benchmark):
+    """Time a full parallel training step under the blockwise mode."""
+    with ParallelExecutor(num_threads=4, reduction="blockwise") as executor:
+        solver = build_solver("lenet", max_iter=1000, executor=executor)
+        solver.step(1)
+        benchmark(solver.step, 1)

@@ -1,0 +1,50 @@
+"""Figure 1: blob structure and data segments.
+
+Regenerates the paper's layout example — a batch of 3-channel images
+stored C-contiguously with the value at ``(n, k, h, w)`` living at flat
+offset ``((n*K + k)*H + h)*W + w`` — and benchmarks the offset
+computation against numpy's own indexing machinery.
+"""
+
+import numpy as np
+
+from repro.bench import emit
+from repro.framework.blob import Blob
+
+
+def layout_table(n=2, k=3, h=4, w=4) -> str:
+    blob = Blob((n, k, h, w), name="images")
+    lines = [
+        f"blob shape (N,K,H,W) = {blob.shape}; count = {blob.count}",
+        "segment map (one (H,W) plane per channel per image):",
+    ]
+    for image in range(n):
+        for channel in range(k):
+            start = blob.offset((image, channel, 0, 0))
+            stop = blob.offset((image, channel, h - 1, w - 1))
+            lines.append(
+                f"  image {image} channel {channel}: "
+                f"flat [{start:4d}, {stop:4d}]"
+            )
+    return "\n".join(lines)
+
+
+def test_fig1_offsets_match_paper_formula():
+    blob = Blob((4, 3, 28, 28))
+    for n in range(4):
+        for ch in range(3):
+            expected = ((n * 3 + ch) * 28 + 7) * 28 + 5
+            assert blob.offset((n, ch, 7, 5)) == expected
+    emit("fig1_blob_layout", layout_table())
+
+
+def test_fig1_offset_benchmark(benchmark):
+    blob = Blob((64, 3, 28, 28))
+    indices = [(n % 64, n % 3, n % 28, (n * 7) % 28) for n in range(256)]
+
+    def compute_offsets():
+        return [blob.offset(idx) for idx in indices]
+
+    offsets = benchmark(compute_offsets)
+    expected = [int(np.ravel_multi_index(i, blob.shape)) for i in indices]
+    assert offsets == expected

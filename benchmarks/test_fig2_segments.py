@@ -1,0 +1,60 @@
+"""Figure 2: layer transformation over blob segments.
+
+The paper's example: a pooling-style transformation where a group of
+input segments produces one output segment (dimensionality reduction).
+Regenerates the segment mapping for the LeNet pool1 layer and benchmarks
+the real segment-wise pooling kernel.
+"""
+
+import numpy as np
+
+from repro.bench import emit
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.testing import make_blob, spec
+
+
+def segment_table() -> str:
+    """3x3 input segments -> 1 output segment, as in the figure (9:1)."""
+    layer = create_layer(spec("pool", "Pooling", pool="AVE",
+                              kernel_size=3, stride=3))
+    bottom = [make_blob((1, 1, 9, 9))]
+    top = [Blob()]
+    layer.setup(bottom, top)
+    layer.forward(bottom, top)
+    lines = [
+        "input blob: 1 segment grid of 9x9 (nine 3x3 patches)",
+        f"output blob: {top[0].shape} (each cell <- one 3x3 patch)",
+        "",
+        "segment ratio: 9 input cells -> 1 output cell "
+        "(the figure's 9:1 reduction)",
+    ]
+    return "\n".join(lines)
+
+
+def test_fig2_nine_to_one_reduction():
+    layer = create_layer(spec("pool", "Pooling", pool="AVE",
+                              kernel_size=3, stride=3))
+    values = np.arange(81, dtype=np.float32)
+    bottom = [make_blob((1, 1, 9, 9), values=values)]
+    top = [Blob()]
+    layer.setup(bottom, top)
+    layer.forward(bottom, top)
+    assert top[0].shape == (1, 1, 3, 3)
+    # each output cell is the mean of its 3x3 patch
+    grid = values.reshape(9, 9)
+    expected = grid.reshape(3, 3, 3, 3).mean(axis=(1, 3))
+    assert np.allclose(top[0].data[0, 0], expected)
+    emit("fig2_segments", segment_table())
+
+
+def test_fig2_segment_kernel_benchmark(benchmark, rng):
+    """Time the real per-segment transformation on LeNet pool1 shapes."""
+    layer = create_layer(spec("pool", "Pooling", pool="MAX",
+                              kernel_size=2, stride=2))
+    bottom = [make_blob((64, 20, 24, 24), rng=rng)]
+    top = [Blob()]
+    layer.setup(bottom, top)
+
+    benchmark(lambda: layer.forward_chunk(bottom, top, 0,
+                                          layer.forward_space(bottom, top)))

@@ -1,0 +1,38 @@
+"""Figure 3: the MNIST and CIFAR-10 network structures.
+
+Prints both layer stacks with their blob shapes — the dimensionality
+reduction the paper's parallelization analysis hinges on — and
+benchmarks full net construction from prototxt.
+"""
+
+from repro.bench import emit
+from repro.zoo import build_net
+
+
+def stack_table(name: str) -> str:
+    net = build_net(name)
+    net.forward()
+    lines = [f"{name}: {len(net.layers)} layers"]
+    for layer, tops in zip(net.layers, net.tops):
+        shapes = ", ".join(str(t.shape) for t in tops)
+        params = sum(b.count for b in layer.blobs)
+        suffix = f"  params={params}" if params else ""
+        lines.append(f"  {layer.name:<8} {layer.type:<16} -> {shapes}{suffix}")
+    return "\n".join(lines)
+
+
+def test_fig3_mnist_structure():
+    table = stack_table("lenet")
+    assert "conv1" in table and "(64, 20, 24, 24)" in table
+    emit("fig3_mnist_network", table)
+
+
+def test_fig3_cifar_structure():
+    table = stack_table("cifar10")
+    assert "norm1" in table and "(100, 32, 16, 16)" in table
+    emit("fig3_cifar_network", table)
+
+
+def test_fig3_net_build_benchmark(benchmark):
+    net = benchmark(build_net, "lenet")
+    assert len(net.layers) == 9

@@ -1,0 +1,72 @@
+"""Figure 4: MNIST per-layer absolute and relative CPU execution time.
+
+Regenerates the figure's horizontal bars — per-layer-pass times (us) at
+1/2/4/8/12/16 threads and each pass's share of the iteration — from the
+machine model on the real LeNet shapes.  The benchmark times the real
+sequential forward+backward iteration of the functional framework.
+"""
+
+from repro.bench import cifar_costs, emit, lenet_costs, models
+from repro.simulator.report import (
+    format_table,
+    layer_time_table,
+    relative_weights,
+)
+from repro.zoo import build_net
+
+THREADS = (1, 2, 4, 8, 12, 16)
+
+
+def build_figure() -> str:
+    cpu = models()[0]
+    costs = lenet_costs()
+    keys, rows = layer_time_table(costs, cpu, THREADS)
+    table_rows = [
+        [f"{threads}T"] + row for threads, row in zip(THREADS, rows)
+    ]
+    absolute = format_table(["threads"] + keys, table_rows, width=11)
+    weights = relative_weights(costs, cpu, 1)
+    share_lines = ["", "serial relative weight per pass:"]
+    for key in keys:
+        share_lines.append(f"  {key:<12} {weights[key] * 100:6.2f}%")
+    convpool = sum(v for k, v in weights.items()
+                   if k.startswith(("conv", "pool")))
+    share_lines.append(f"  conv+pool combined: {convpool * 100:.1f}% "
+                       "(paper: ~80%)")
+    return absolute + "\n" + "\n".join(share_lines)
+
+
+def test_fig4_conv_pool_dominate():
+    cpu = models()[0]
+    weights = relative_weights(lenet_costs(), cpu, 1)
+    convpool = sum(v for k, v in weights.items()
+                   if k.startswith(("conv", "pool")))
+    assert convpool > 0.7  # paper: ~80% at every thread count
+    emit("fig4_mnist_layer_time", build_figure())
+
+
+def test_fig4_center_layers_shrink():
+    """The figure's center zone (pool2..loss) is small at every count."""
+    cpu = models()[0]
+    for threads in THREADS:
+        times = cpu.layer_times(lenet_costs(), threads)
+        total = sum(times.values())
+        center = sum(times[k] for k in
+                     ("ip2.fwd", "ip2.bwd", "loss.fwd", "loss.bwd",
+                      "relu1.fwd", "relu1.bwd"))
+        assert center / total < 0.15
+
+
+def test_fig4_real_iteration_benchmark(benchmark):
+    """Time one real (sequential) LeNet training iteration."""
+    net = build_net("lenet")
+    net.forward()  # shape + warm caches
+
+    def iteration():
+        net.clear_param_diffs()
+        loss = net.forward()
+        net.backward()
+        return loss
+
+    loss = benchmark(iteration)
+    assert loss > 0

@@ -1,0 +1,47 @@
+"""Figure 5: MNIST per-layer CPU scalability.
+
+Regenerates the figure's clusters — per-layer-pass speedup over serial at
+2/4/8/12/16 threads, with the u-shape (tiny center layers do not scale)
+and the two behaviour classes the paper identifies: conv1/pool1/conv2
+scale well; ip1/pool2 plateau near 8 threads.  The benchmark times the
+real thread-team parallel forward on LeNet.
+"""
+
+from repro.bench import emit, lenet_costs, models
+from repro.core import ParallelExecutor
+from repro.simulator.report import format_table, layer_scalability_table
+from repro.zoo import build_net
+
+THREADS = (2, 4, 8, 12, 16)
+
+
+def build_figure() -> str:
+    cpu = models()[0]
+    keys, rows = layer_scalability_table(lenet_costs(), cpu, THREADS)
+    table_rows = [[f"{t}T"] + row for t, row in zip(THREADS, rows)]
+    return format_table(["threads"] + keys, table_rows, width=11)
+
+
+def test_fig5_u_shape_and_classes():
+    cpu = models()[0]
+    s8 = cpu.layer_speedups(lenet_costs(), 8)
+    s16 = cpu.layer_speedups(lenet_costs(), 16)
+    # class 1: small center layers do not scale
+    assert s16["loss.fwd"] < 3.0 and s16["ip2.fwd"] < 6.0
+    # class 2: ip1 plateaus (paper: 4.58x fwd @8T, flat beyond)
+    assert 3.5 < s8["ip1.fwd"] < 6.5
+    assert s16["ip1.fwd"] < 1.5 * s8["ip1.fwd"]
+    # class 3: convolutions scale well
+    assert s16["conv2.fwd"] > 8.0
+    # conv1 trails conv2 (serial data layer locality, paper ~10%)
+    assert s16["conv1.fwd"] < s16["conv2.fwd"]
+    emit("fig5_mnist_layer_scalability", build_figure())
+
+
+def test_fig5_real_parallel_forward_benchmark(benchmark):
+    """Exercise the real batch-parallel forward (4 worker threads)."""
+    net = build_net("lenet")
+    with ParallelExecutor(num_threads=4) as executor:
+        executor.forward(net)  # shapes/caches
+        loss = benchmark(executor.forward, net)
+    assert loss > 0

@@ -1,0 +1,68 @@
+"""Figure 6: MNIST overall speedups and per-layer GPU scalability.
+
+Left panel: absolute speedups of OpenMP (2-16 threads) vs plain-GPU vs
+cuDNN-GPU.  Paper: ~6x @ 8T, ~8x @ 16T, plain-GPU ~2x, cuDNN ~12x —
+the coarse-grain CPU parallelization beating the native fine-grain GPU
+port, cuDNN winning outright.
+
+Right panel: per-layer GPU speedups (pooling 57-62x plain; convolutions
+1.11x/1.63x plain vs 15-25x cuDNN; pool2 dropping 62x -> 27x under
+cuDNN).
+"""
+
+from repro.bench import emit, lenet_costs, models
+from repro.core import ParallelExecutor
+from repro.simulator.report import (
+    format_table,
+    gpu_layer_speedup_table,
+    overall_speedup_table,
+)
+from repro.zoo import build_solver
+
+
+def build_figure() -> str:
+    cpu, plain, cudnn = models()
+    overall = overall_speedup_table(lenet_costs(), cpu, plain, cudnn)
+    left = "\n".join(f"  {k:<12} {v:6.2f}x" for k, v in overall.items())
+    keys, plain_sp, cudnn_sp = gpu_layer_speedup_table(
+        lenet_costs(), plain, cudnn
+    )
+    right = format_table(
+        ["layer", "plain-GPU", "cuDNN-GPU"],
+        [[k, p, c] for k, p, c in zip(keys, plain_sp, cudnn_sp)],
+        width=12,
+    )
+    return "overall speedups (vs serial CPU):\n" + left + \
+        "\n\nper-layer GPU speedups:\n" + right
+
+
+def test_fig6_overall_ordering():
+    cpu, plain, cudnn = models()
+    costs = lenet_costs()
+    omp8 = cpu.speedup(costs, 8)
+    omp16 = cpu.speedup(costs, 16)
+    assert 5.0 < omp8 < 7.5          # paper ~6x
+    assert 7.0 < omp16 < 9.5         # paper ~8x
+    assert plain.speedup(costs) < omp16          # OpenMP beats plain GPU
+    assert cudnn.speedup(costs) > omp16          # cuDNN beats OpenMP
+    emit("fig6_mnist_overall", build_figure())
+
+
+def test_fig6_gpu_layer_asymmetries():
+    _, plain, cudnn = models()
+    costs = lenet_costs()
+    plain_sp = plain.layer_speedups(costs)
+    cudnn_sp = cudnn.layer_speedups(costs)
+    assert plain_sp["pool1.fwd"] > 25 and plain_sp["pool2.fwd"] > 25
+    assert plain_sp["conv1.fwd"] < 3
+    assert cudnn_sp["conv1.fwd"] > 5 * plain_sp["conv1.fwd"]
+    assert cudnn_sp["pool2.fwd"] < plain_sp["pool2.fwd"]  # the regression
+
+
+def test_fig6_real_parallel_training_benchmark(benchmark):
+    """Time one real coarse-grain training step (ordered reduction)."""
+    with ParallelExecutor(num_threads=4, reduction="ordered") as executor:
+        solver = build_solver("lenet", max_iter=1000, executor=executor)
+        solver.step(1)  # warm-up
+        benchmark(solver.step, 1)
+    assert solver.loss_history

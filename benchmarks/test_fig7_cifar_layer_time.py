@@ -1,0 +1,64 @@
+"""Figure 7: CIFAR-10 per-layer absolute and relative CPU time.
+
+Paper: the convolutional, pooling and LRN layers account for ~85% of the
+iteration at every thread count; the small layers (pool3/ip1/loss) never
+matter for overall scalability.
+"""
+
+from repro.bench import cifar_costs, emit, models
+from repro.simulator.report import (
+    format_table,
+    layer_time_table,
+    relative_weights,
+)
+from repro.zoo import build_net
+
+THREADS = (1, 2, 4, 8, 12, 16)
+
+
+def build_figure() -> str:
+    cpu = models()[0]
+    costs = cifar_costs()
+    keys, rows = layer_time_table(costs, cpu, THREADS)
+    table_rows = [[f"{t}T"] + row for t, row in zip(THREADS, rows)]
+    table = format_table(["threads"] + keys, table_rows, width=11)
+    weights = relative_weights(costs, cpu, 1)
+    dominant = sum(v for k, v in weights.items()
+                   if k.startswith(("conv", "pool", "norm")))
+    return table + (
+        f"\n\nconv+pool+norm serial share: {dominant * 100:.1f}% "
+        "(paper: ~85%)"
+    )
+
+
+def test_fig7_dominant_layers():
+    cpu = models()[0]
+    for threads in THREADS:
+        times = cpu.layer_times(cifar_costs(), threads)
+        total = sum(times.values())
+        dominant = sum(v for k, v in times.items()
+                       if k.startswith(("conv", "pool", "norm")))
+        assert dominant / total > 0.75  # paper: ~85%, all thread counts
+    emit("fig7_cifar_layer_time", build_figure())
+
+
+def test_fig7_small_layers_irrelevant():
+    cpu = models()[0]
+    times = cpu.layer_times(cifar_costs(), 16)
+    total = sum(times.values())
+    small = sum(times[k] for k in ("ip1.fwd", "ip1.bwd",
+                                   "loss.fwd", "loss.bwd"))
+    assert small / total < 0.08
+
+
+def test_fig7_real_cifar_iteration_benchmark(benchmark):
+    net = build_net("cifar10")
+    net.forward()
+
+    def iteration():
+        net.clear_param_diffs()
+        loss = net.forward()
+        net.backward()
+        return loss
+
+    assert benchmark(iteration) > 0

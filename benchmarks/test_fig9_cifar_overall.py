@@ -1,0 +1,65 @@
+"""Figure 9: CIFAR-10 overall speedups and per-layer GPU scalability.
+
+Paper: OpenMP ~6x @ 8T and 8.83x @ 16T; plain-GPU ~6x (the coarse-grain
+CPU version beats the native GPU port); cuDNN ~27x.  Per layer: plain
+pooling ~110x and LRN ~40x while convolutions sit at 1.8-6x; cuDNN
+convolutions reach ~50x, pool3 drops 42x -> 11.75x, pool1 improves
+8.6x -> 20.9x.
+"""
+
+from repro.bench import cifar_costs, emit, models
+from repro.core import ParallelExecutor
+from repro.simulator.report import (
+    format_table,
+    gpu_layer_speedup_table,
+    overall_speedup_table,
+)
+from repro.zoo import build_solver
+
+
+def build_figure() -> str:
+    cpu, plain, cudnn = models()
+    overall = overall_speedup_table(cifar_costs(), cpu, plain, cudnn)
+    left = "\n".join(f"  {k:<12} {v:6.2f}x" for k, v in overall.items())
+    keys, plain_sp, cudnn_sp = gpu_layer_speedup_table(
+        cifar_costs(), plain, cudnn
+    )
+    right = format_table(
+        ["layer", "plain-GPU", "cuDNN-GPU"],
+        [[k, p, c] for k, p, c in zip(keys, plain_sp, cudnn_sp)],
+        width=12,
+    )
+    return "overall speedups (vs serial CPU):\n" + left + \
+        "\n\nper-layer GPU speedups:\n" + right
+
+
+def test_fig9_overall_crossover():
+    cpu, plain, cudnn = models()
+    costs = cifar_costs()
+    omp16 = cpu.speedup(costs, 16)
+    assert 7.5 < omp16 < 11.5        # paper 8.83x
+    plain_sp = plain.speedup(costs)
+    assert 3.0 < plain_sp < omp16    # paper: 6x, below OpenMP-16
+    assert cudnn.speedup(costs) > 1.8 * omp16  # paper: 27x
+    emit("fig9_cifar_overall", build_figure())
+
+
+def test_fig9_gpu_layer_magnitudes():
+    _, plain, cudnn = models()
+    costs = cifar_costs()
+    plain_sp = plain.layer_speedups(costs)
+    cudnn_sp = cudnn.layer_speedups(costs)
+    assert plain_sp["pool1.fwd"] > 60      # paper ~110x
+    assert plain_sp["norm1.fwd"] > 20      # paper ~40x
+    assert 1.5 < plain_sp["conv1.fwd"] < 8  # paper 1.8-6x
+    assert cudnn_sp["conv2.fwd"] > 30      # paper ~50x
+    assert cudnn_sp["pool3.fwd"] < plain_sp["pool3.fwd"] / 2  # 42 -> 11.75
+    assert cudnn_sp["pool1.bwd"] > plain_sp["pool1.bwd"]      # 8.6 -> 20.9
+
+
+def test_fig9_real_parallel_cifar_training_benchmark(benchmark):
+    with ParallelExecutor(num_threads=4, reduction="ordered") as executor:
+        solver = build_solver("cifar10", max_iter=1000, executor=executor)
+        solver.step(1)
+        benchmark(solver.step, 1)
+    assert solver.loss_history

@@ -1,0 +1,65 @@
+"""Multi-device data parallelism: the paper's multi-GPU claim, executable.
+
+"[Batch-level parallelism] is compatible with multi-GPU execution
+without altering the algorithm convergence rate" (Section 1).  The batch
+is *sharded* (never shrunk) across model replicas; shard gradients are
+all-reduced in fixed order; every replica applies the identical update.
+The global batch size — the hyper-parameter whose change the paper
+faults in contemporaneous multi-GPU practice — is untouched.
+
+Run:  python examples/multi_device.py [iterations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import DataParallelSolver
+from repro.data import ArrayBatchSource, SyntheticMNIST, register_default_sources
+from repro.framework.net import Net
+from repro.framework.solvers import create_solver
+from repro.zoo.lenet import lenet_solver_params, lenet_spec
+
+
+def source():
+    dataset = SyntheticMNIST(n_samples=512, seed=1)
+    return ArrayBatchSource(dataset.images, dataset.labels)
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    register_default_sources()
+
+    print(f"single device ({iterations} iterations, batch 64) ...")
+    spec = lenet_spec()
+    data = next(l for l in spec.layers_for_phase("TRAIN") if l.type == "Data")
+    data.params["source_object"] = source()
+    reference = create_solver(lenet_solver_params(max_iter=iterations),
+                              Net(spec, phase="TRAIN"))
+
+    print("2 replicas x 2 threads (batch 64 sharded 32+32) ...")
+    with DataParallelSolver(
+        lenet_spec(), lenet_solver_params(max_iter=iterations),
+        source=source(), replicas=2, threads_per_replica=2,
+    ) as parallel:
+        reference.net.load_state_dict(parallel.state_dict())
+        reference.step(iterations)
+        parallel.step(iterations)
+
+        print(f"\n{'iter':>5} {'single-device':>14} {'2x2 replicas':>14}")
+        for i, (a, b) in enumerate(zip(reference.loss_history,
+                                       parallel.loss_history)):
+            print(f"{i:>5} {a:>14.6f} {b:>14.6f}")
+
+        drift = max(abs(a - b) for a, b in zip(reference.loss_history,
+                                               parallel.loss_history))
+        print(f"\nmax trajectory drift: {drift:.2e} "
+              "(floating-point reassociation only)")
+        print("replicas in sync:", parallel.replicas_in_sync())
+        assert np.allclose(reference.loss_history, parallel.loss_history,
+                           rtol=1e-3)
+        print("convergence preserved at the multi-device level.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Regenerate the paper's performance figures from the machine models.
+
+Prints the overall-speedup panels of Figures 6 and 9 (OpenMP 2-16
+threads vs plain-GPU vs cuDNN-GPU) and the per-layer scalability series
+of Figures 5 and 8, computed by the 16-core Xeon / K40 analytic models
+on the real network shapes.
+
+Run:  python examples/simulate_testbed.py
+"""
+
+from repro.simulator import (
+    CPUModel,
+    GPUModel,
+    K40_CUDNN,
+    K40_PLAIN,
+    net_costs,
+)
+from repro.simulator.report import (
+    format_table,
+    layer_scalability_table,
+    overall_speedup_table,
+)
+from repro.zoo import build_net
+
+PAPER_OVERALL = {
+    "lenet": {"OpenMP-8T": 6.0, "OpenMP-16T": 8.0,
+              "plain-GPU": 2.0, "cuDNN-GPU": 12.0},
+    "cifar10": {"OpenMP-8T": 6.0, "OpenMP-16T": 8.83,
+                "plain-GPU": 6.0, "cuDNN-GPU": 27.0},
+}
+
+
+def main() -> None:
+    cpu = CPUModel()
+    plain = GPUModel(K40_PLAIN, host=cpu)
+    cudnn = GPUModel(K40_CUDNN, host=cpu)
+
+    for name, figure in (("lenet", "Figure 6"), ("cifar10", "Figure 9")):
+        net = build_net(name)
+        net.forward()
+        costs = net_costs(net)
+        print(f"\n===== {figure} (overall, {name}) =====")
+        table = overall_speedup_table(costs, cpu, plain, cudnn)
+        paper = PAPER_OVERALL[name]
+        print(f"{'config':<12}{'model':>8}{'paper':>8}")
+        for key, value in table.items():
+            reference = paper.get(key)
+            ref_text = f"{reference:>8.2f}" if reference else " " * 8
+            print(f"{key:<12}{value:>8.2f}{ref_text}")
+
+    for name, figure in (("lenet", "Figure 5"), ("cifar10", "Figure 8")):
+        net = build_net(name)
+        net.forward()
+        costs = net_costs(net)
+        keys, rows = layer_scalability_table(costs, cpu, (2, 4, 8, 12, 16))
+        print(f"\n===== {figure} (per-layer speedups, {name}) =====")
+        print(format_table(
+            ["threads"] + keys,
+            [[f"{t}T"] + row for t, row in zip((2, 4, 8, 12, 16), rows)],
+            width=11,
+        ))
+
+
+if __name__ == "__main__":
+    main()

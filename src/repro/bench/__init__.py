@@ -1,0 +1,17 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite.
+
+Each benchmark regenerates one of the paper's figures: it prints the
+figure's rows/series (and saves them under ``benchmarks/out/``) from the
+machine models driven by the real networks, and times a real code path
+with pytest-benchmark so the functional runtime is exercised too.
+"""
+
+from repro.bench.harness import (
+    emit,
+    lenet_costs,
+    cifar_costs,
+    models,
+    output_path,
+)
+
+__all__ = ["cifar_costs", "emit", "lenet_costs", "models", "output_path"]

@@ -1,0 +1,58 @@
+"""Shared state and output helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.simulator import (
+    CPUModel,
+    GPUModel,
+    K40_CUDNN,
+    K40_PLAIN,
+    net_costs,
+)
+from repro.simulator.cost_model import LayerCost
+from repro.zoo import build_net
+
+#: Where figure tables are written (next to the benchmarks).
+OUT_DIR = os.environ.get(
+    "REPRO_BENCH_OUT",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "out"),
+)
+
+
+@lru_cache(maxsize=None)
+def lenet_costs() -> Tuple[LayerCost, ...]:
+    net = build_net("lenet")
+    net.forward()
+    return tuple(net_costs(net))
+
+
+@lru_cache(maxsize=None)
+def cifar_costs() -> Tuple[LayerCost, ...]:
+    net = build_net("cifar10")
+    net.forward()
+    return tuple(net_costs(net))
+
+
+@lru_cache(maxsize=None)
+def models() -> Tuple[CPUModel, GPUModel, GPUModel]:
+    """(CPU, plain-GPU, cuDNN-GPU) models with a shared host."""
+    cpu = CPUModel()
+    return cpu, GPUModel(K40_PLAIN, host=cpu), GPUModel(K40_CUDNN, host=cpu)
+
+
+def output_path(name: str) -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return os.path.join(OUT_DIR, name)
+
+
+def emit(figure: str, text: str) -> None:
+    """Print a figure table and persist it under ``benchmarks/out/``."""
+    banner = f"\n===== {figure} =====\n"
+    print(banner + text)
+    with open(output_path(f"{figure}.txt"), "w") as handle:
+        handle.write(text + "\n")

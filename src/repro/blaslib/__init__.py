@@ -1,0 +1,66 @@
+"""BLAS substrate for the reproduction.
+
+Caffe delegates the inner computation of every layer to a Basic Linear
+Algebra Subprograms (BLAS) implementation (OpenBLAS in the paper's setup).
+The coarse-grain parallelization deliberately *never* reaches inside a BLAS
+call: a BLAS invocation on one blob segment is the unit of work.
+
+This package provides that surface:
+
+* Level 1: :func:`axpy`, :func:`axpby`, :func:`scal`, :func:`dot`,
+  :func:`asum`, :func:`nrm2`, :func:`copy`, :func:`set_scalar`.
+* Level 2: :func:`gemv`, :func:`ger`.
+* Level 3: :func:`gemm`.
+* Convolution lowering: :func:`im2col`, :func:`col2im`.
+
+Two backends are registered:
+
+* ``"numpy"`` (default) — vectorized, the production path.
+* ``"reference"`` — pure-Python loops, used by tests as an independent
+  oracle and to mirror Caffe's "native and limited BLAS implementation".
+
+Every call is accounted in :class:`~repro.blaslib.dispatch.OpCounter` so the
+performance simulator can derive operation counts from real executions.
+"""
+
+from repro.blaslib.dispatch import (
+    OpCounter,
+    backend_name,
+    get_backend,
+    op_counter,
+    use_backend,
+)
+from repro.blaslib.level1 import (
+    asum,
+    axpby,
+    axpy,
+    copy,
+    dot,
+    nrm2,
+    scal,
+    set_scalar,
+)
+from repro.blaslib.gemv import gemv, ger
+from repro.blaslib.gemm import gemm
+from repro.blaslib.im2col import col2im, im2col
+
+__all__ = [
+    "OpCounter",
+    "asum",
+    "axpby",
+    "axpy",
+    "backend_name",
+    "col2im",
+    "copy",
+    "dot",
+    "gemm",
+    "gemv",
+    "ger",
+    "get_backend",
+    "im2col",
+    "nrm2",
+    "op_counter",
+    "scal",
+    "set_scalar",
+    "use_backend",
+]

@@ -1,0 +1,143 @@
+"""Backend dispatch and operation accounting for the BLAS substrate.
+
+The dispatcher keeps a process-global current backend (``"numpy"`` or
+``"reference"``) and a stack-based context manager to switch it, plus an
+:class:`OpCounter` that tallies floating-point operations and bytes moved
+per BLAS level.  The simulator uses these tallies to build its cost model
+from *measured* call patterns instead of hand-derived formulas.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+_VALID_BACKENDS = ("numpy", "reference")
+
+# Backend selection is thread-local so a worker thread running the reference
+# backend (e.g. inside a test oracle) does not perturb concurrent workers.
+_state = threading.local()
+
+
+def _current() -> str:
+    return getattr(_state, "backend", "numpy")
+
+
+def backend_name() -> str:
+    """Return the name of the active BLAS backend for this thread."""
+    return _current()
+
+
+def get_backend() -> str:
+    """Alias of :func:`backend_name` kept for API symmetry."""
+    return _current()
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the BLAS backend for the calling thread.
+
+    Parameters
+    ----------
+    name:
+        ``"numpy"`` for the vectorized production backend or
+        ``"reference"`` for the pure-Python oracle.
+    """
+    if name not in _VALID_BACKENDS:
+        raise ValueError(
+            f"unknown BLAS backend {name!r}; expected one of {_VALID_BACKENDS}"
+        )
+    previous = _current()
+    _state.backend = name
+    try:
+        yield
+    finally:
+        _state.backend = previous
+
+
+@dataclass
+class OpCounter:
+    """Tally of BLAS work, grouped by call kind.
+
+    Attributes
+    ----------
+    flops:
+        Floating point operations per call kind (multiply-add counted as 2).
+    bytes_moved:
+        Bytes read plus written per call kind, assuming each operand is
+        touched once (the streaming lower bound the simulator needs).
+    calls:
+        Number of invocations per call kind.
+    """
+
+    flops: Dict[str, int] = field(default_factory=dict)
+    bytes_moved: Dict[str, int] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, flops: int, nbytes: int) -> None:
+        self.flops[kind] = self.flops.get(kind, 0) + int(flops)
+        self.bytes_moved[kind] = self.bytes_moved.get(kind, 0) + int(nbytes)
+        self.calls[kind] = self.calls.get(kind, 0) + 1
+
+    def total_flops(self) -> int:
+        return sum(self.flops.values())
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_moved.values())
+
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    def merged_with(self, other: "OpCounter") -> "OpCounter":
+        out = OpCounter()
+        for src in (self, other):
+            for kind, value in src.flops.items():
+                out.flops[kind] = out.flops.get(kind, 0) + value
+            for kind, value in src.bytes_moved.items():
+                out.bytes_moved[kind] = out.bytes_moved.get(kind, 0) + value
+            for kind, value in src.calls.items():
+                out.calls[kind] = out.calls.get(kind, 0) + value
+        return out
+
+    def clear(self) -> None:
+        self.flops.clear()
+        self.bytes_moved.clear()
+        self.calls.clear()
+
+
+_counter_state = threading.local()
+
+
+def _active_counter() -> OpCounter | None:
+    return getattr(_counter_state, "counter", None)
+
+
+@contextmanager
+def op_counter() -> Iterator[OpCounter]:
+    """Count BLAS work performed by the calling thread inside the block.
+
+    Nested counters stack: the innermost active counter receives the
+    records; on exit its totals are folded into the enclosing one so outer
+    scopes still see the full tally.
+    """
+    counter = OpCounter()
+    outer = _active_counter()
+    _counter_state.counter = counter
+    try:
+        yield counter
+    finally:
+        _counter_state.counter = outer
+        if outer is not None:
+            merged = outer.merged_with(counter)
+            outer.flops = merged.flops
+            outer.bytes_moved = merged.bytes_moved
+            outer.calls = merged.calls
+
+
+def record_op(kind: str, flops: int, nbytes: int) -> None:
+    """Internal hook used by the BLAS kernels to report their work."""
+    counter = _active_counter()
+    if counter is not None:
+        counter.record(kind, flops, nbytes)

@@ -1,0 +1,76 @@
+"""Level-2 BLAS kernels: general matrix-vector product and rank-1 update."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blaslib.dispatch import backend_name, record_op
+
+
+def gemv(
+    trans: bool,
+    alpha: float,
+    a: np.ndarray,
+    x: np.ndarray,
+    beta: float,
+    y: np.ndarray,
+) -> np.ndarray:
+    """``y = alpha * op(A) @ x + beta * y`` in place; returns ``y``.
+
+    Parameters
+    ----------
+    trans:
+        When true, ``op(A) = A.T``; otherwise ``op(A) = A``.
+    a:
+        2-D matrix of shape ``(m, n)``.
+    x:
+        Vector of length ``n`` (``m`` when transposed).
+    y:
+        Output vector of length ``m`` (``n`` when transposed).
+    """
+    if a.ndim != 2:
+        raise ValueError(f"gemv expects a 2-D matrix, got shape {a.shape}")
+    m, n = a.shape
+    in_len, out_len = (m, n) if trans else (n, m)
+    if x.shape != (in_len,):
+        raise ValueError(f"gemv x has shape {x.shape}, expected ({in_len},)")
+    if y.shape != (out_len,):
+        raise ValueError(f"gemv y has shape {y.shape}, expected ({out_len},)")
+
+    record_op("gemv", 2 * m * n, a.nbytes + x.nbytes + 2 * y.nbytes)
+    if backend_name() == "reference":
+        op_a = a.T if trans else a
+        for i in range(out_len):
+            acc = 0.0
+            for j in range(in_len):
+                acc += float(op_a[i, j]) * float(x[j])
+            y[i] = alpha * acc + beta * y[i]
+        return y
+
+    op_a = a.T if trans else a
+    if beta == 0.0:
+        np.copyto(y, alpha * (op_a @ x))
+    else:
+        y *= beta
+        y += alpha * (op_a @ x)
+    return y
+
+
+def ger(alpha: float, x: np.ndarray, y: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Rank-1 update ``A += alpha * outer(x, y)`` in place; returns ``A``."""
+    if a.ndim != 2:
+        raise ValueError(f"ger expects a 2-D matrix, got shape {a.shape}")
+    m, n = a.shape
+    if x.shape != (m,):
+        raise ValueError(f"ger x has shape {x.shape}, expected ({m},)")
+    if y.shape != (n,):
+        raise ValueError(f"ger y has shape {y.shape}, expected ({n},)")
+
+    record_op("ger", 2 * m * n, x.nbytes + y.nbytes + 2 * a.nbytes)
+    if backend_name() == "reference":
+        for i in range(m):
+            for j in range(n):
+                a[i, j] = a[i, j] + alpha * float(x[i]) * float(y[j])
+        return a
+    a += alpha * np.outer(x, y)
+    return a

@@ -1,0 +1,198 @@
+"""Convolution lowering: ``im2col`` / ``col2im``.
+
+Caffe implements convolution as ``im2col`` followed by a single ``gemm``
+per image; the backward pass uses ``col2im`` to scatter gradients back.
+These are the exact kernels the coarse-grain parallelization treats as the
+per-sample unit of work inside the convolutional layers.
+
+The column buffer layout matches Caffe: shape
+``(channels * kernel_h * kernel_w, output_h * output_w)`` with the kernel
+offsets varying slowest, so that ``weights @ col`` yields the convolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blaslib.dispatch import backend_name, record_op
+
+
+def conv_out_size(in_size: int, kernel: int, pad: int, stride: int) -> int:
+    """Spatial output extent of a convolution/pooling window sweep."""
+    if kernel <= 0 or stride <= 0:
+        raise ValueError(f"kernel ({kernel}) and stride ({stride}) must be positive")
+    if pad < 0:
+        raise ValueError(f"pad must be non-negative, got {pad}")
+    out = (in_size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"window does not fit: in={in_size} kernel={kernel} "
+            f"pad={pad} stride={stride}"
+        )
+    return out
+
+
+def im2col(
+    image: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    pad_h: int,
+    pad_w: int,
+    stride_h: int,
+    stride_w: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Unfold one image ``(C, H, W)`` into a column matrix.
+
+    Returns an array of shape
+    ``(C * kernel_h * kernel_w, out_h * out_w)``; ``out`` may supply a
+    preallocated destination of that shape.
+    """
+    if image.ndim != 3:
+        raise ValueError(f"im2col expects (C, H, W), got shape {image.shape}")
+    c, h, w = image.shape
+    out_h = conv_out_size(h, kernel_h, pad_h, stride_h)
+    out_w = conv_out_size(w, kernel_w, pad_w, stride_w)
+    col_shape = (c * kernel_h * kernel_w, out_h * out_w)
+    if out is None:
+        out = np.empty(col_shape, dtype=image.dtype)
+    elif out.shape != col_shape:
+        raise ValueError(f"im2col out has shape {out.shape}, expected {col_shape}")
+
+    record_op("im2col", 0, image.nbytes + out.nbytes)
+    if backend_name() == "reference":
+        _im2col_reference(
+            image, kernel_h, kernel_w, pad_h, pad_w, stride_h, stride_w, out
+        )
+        return out
+
+    if pad_h or pad_w:
+        padded = np.zeros((c, h + 2 * pad_h, w + 2 * pad_w), dtype=image.dtype)
+        padded[:, pad_h : pad_h + h, pad_w : pad_w + w] = image
+    else:
+        padded = image
+    # Strided view: (C, kernel_h, kernel_w, out_h, out_w) without copying.
+    sc, sh, sw = padded.strides
+    view = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(c, kernel_h, kernel_w, out_h, out_w),
+        strides=(sc, sh, sw, sh * stride_h, sw * stride_w),
+        writeable=False,
+    )
+    np.copyto(out, view.reshape(col_shape))
+    return out
+
+
+def _im2col_reference(
+    image: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    pad_h: int,
+    pad_w: int,
+    stride_h: int,
+    stride_w: int,
+    out: np.ndarray,
+) -> None:
+    c, h, w = image.shape
+    out_h = conv_out_size(h, kernel_h, pad_h, stride_h)
+    out_w = conv_out_size(w, kernel_w, pad_w, stride_w)
+    row = 0
+    for ch in range(c):
+        for kh in range(kernel_h):
+            for kw in range(kernel_w):
+                col = 0
+                for oh in range(out_h):
+                    ih = oh * stride_h + kh - pad_h
+                    for ow in range(out_w):
+                        iw = ow * stride_w + kw - pad_w
+                        if 0 <= ih < h and 0 <= iw < w:
+                            out[row, col] = image[ch, ih, iw]
+                        else:
+                            out[row, col] = 0.0
+                        col += 1
+                row += 1
+
+
+def col2im(
+    col: np.ndarray,
+    channels: int,
+    height: int,
+    width: int,
+    kernel_h: int,
+    kernel_w: int,
+    pad_h: int,
+    pad_w: int,
+    stride_h: int,
+    stride_w: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fold a column matrix back into an image, summing overlaps.
+
+    The adjoint of :func:`im2col`: entries of ``col`` that originated from
+    the same image pixel are accumulated.  Returns an array of shape
+    ``(channels, height, width)``.
+    """
+    out_h = conv_out_size(height, kernel_h, pad_h, stride_h)
+    out_w = conv_out_size(width, kernel_w, pad_w, stride_w)
+    expected = (channels * kernel_h * kernel_w, out_h * out_w)
+    if col.shape != expected:
+        raise ValueError(f"col2im col has shape {col.shape}, expected {expected}")
+    if out is None:
+        out = np.zeros((channels, height, width), dtype=col.dtype)
+    else:
+        if out.shape != (channels, height, width):
+            raise ValueError(
+                f"col2im out has shape {out.shape}, expected "
+                f"({channels}, {height}, {width})"
+            )
+        out.fill(0.0)
+
+    record_op("col2im", col.size, col.nbytes + out.nbytes)
+    if backend_name() == "reference":
+        _col2im_reference(
+            col, channels, height, width, kernel_h, kernel_w,
+            pad_h, pad_w, stride_h, stride_w, out,
+        )
+        return out
+
+    padded = np.zeros(
+        (channels, height + 2 * pad_h, width + 2 * pad_w), dtype=col.dtype
+    )
+    view = col.reshape(channels, kernel_h, kernel_w, out_h, out_w)
+    for kh in range(kernel_h):
+        h_stop = kh + stride_h * out_h
+        for kw in range(kernel_w):
+            w_stop = kw + stride_w * out_w
+            padded[:, kh:h_stop:stride_h, kw:w_stop:stride_w] += view[:, kh, kw]
+    np.copyto(out, padded[:, pad_h : pad_h + height, pad_w : pad_w + width])
+    return out
+
+
+def _col2im_reference(
+    col: np.ndarray,
+    channels: int,
+    height: int,
+    width: int,
+    kernel_h: int,
+    kernel_w: int,
+    pad_h: int,
+    pad_w: int,
+    stride_h: int,
+    stride_w: int,
+    out: np.ndarray,
+) -> None:
+    out_h = conv_out_size(height, kernel_h, pad_h, stride_h)
+    out_w = conv_out_size(width, kernel_w, pad_w, stride_w)
+    row = 0
+    for ch in range(channels):
+        for kh in range(kernel_h):
+            for kw in range(kernel_w):
+                col_idx = 0
+                for oh in range(out_h):
+                    ih = oh * stride_h + kh - pad_h
+                    for ow in range(out_w):
+                        iw = ow * stride_w + kw - pad_w
+                        if 0 <= ih < height and 0 <= iw < width:
+                            out[ch, ih, iw] += col[row, col_idx]
+                        col_idx += 1
+                row += 1

@@ -1,0 +1,56 @@
+"""The paper's contribution: coarse-grain (batch-level) parallel runtime.
+
+This package is an OpenMP-like runtime plus the batch-parallel drivers
+built on it:
+
+* :mod:`repro.core.coalesce` — loop coalescing: the bijection between the
+  single coalesced induction variable ``civ`` and the outer loop indices
+  ``(s, d1, ..., dk)`` of Algorithms 4/5.
+* :mod:`repro.core.scheduling` — static / static-chunked / dynamic /
+  guided loop schedules (OpenMP ``schedule`` clauses).
+* :mod:`repro.core.team` — :class:`ThreadTeam`: persistent worker
+  threads, parallel regions, barriers, critical sections and the
+  ``ordered`` construct.
+* :mod:`repro.core.privatization` — per-thread private gradient storage,
+  reused across layers (paper Section 3.2.1's memory accounting).
+* :mod:`repro.core.reduction` — gradient merge strategies: ``ordered``
+  (the paper's deterministic choice), ``atomic`` (the "reduction-based
+  solution"), and ``blockwise`` (an extension that is bitwise invariant
+  across thread counts).
+* :mod:`repro.core.parallel_net` — :class:`ParallelExecutor`: drives any
+  framework Net's forward/backward with batch-level parallelism;
+  plugs into the solvers as their executor (network-agnostic by
+  construction: it only uses the generic chunk protocol).
+"""
+
+from repro.core.coalesce import CoalescedSpace
+from repro.core.scheduling import (
+    DynamicSchedule,
+    GuidedSchedule,
+    Schedule,
+    StaticSchedule,
+    make_schedule,
+)
+from repro.core.team import ThreadTeam, WorkerError
+from repro.core.privatization import PrivatePool
+from repro.core.reduction import REDUCTION_MODES
+from repro.core.parallel_net import ParallelExecutor
+from repro.core.data_parallel import DataParallelSolver
+from repro.core.trace import Trace, TracingExecutor
+
+__all__ = [
+    "DataParallelSolver",
+    "Trace",
+    "TracingExecutor",
+    "CoalescedSpace",
+    "DynamicSchedule",
+    "GuidedSchedule",
+    "ParallelExecutor",
+    "PrivatePool",
+    "REDUCTION_MODES",
+    "Schedule",
+    "StaticSchedule",
+    "ThreadTeam",
+    "WorkerError",
+    "make_schedule",
+]

@@ -1,0 +1,254 @@
+"""ParallelExecutor: coarse-grain parallel forward/backward for any Net.
+
+This is the paper's transformation applied end to end.  The executor
+walks the net layer by layer (the passes themselves are inherently
+sequential — Algorithm 1); *within* each layer it distributes the
+coalesced iteration space over the thread team (Algorithm 4 for forward,
+Algorithm 5 for backward).  It is **network-agnostic**: it only touches
+the generic chunk protocol every layer inherits, never the layer's
+computation.
+
+Gradient reductions honour the configured mode:
+
+* ``"ordered"`` (paper default) — one private buffer per thread, merged
+  via the team's ordered construct in thread-id order.  Deterministic for
+  a fixed thread count; bitwise equal to the sequential pass at 1 thread.
+* ``"atomic"`` — merged under the critical lock in completion order
+  (the paper's "reduction-based solution": values agree only up to
+  floating-point reassociation).
+* ``"tree"`` — per-thread buffers combined pairwise by the master after
+  the loop; deterministic per thread count.
+* ``"blockwise"`` — accumulation in fixed sample blocks, merged in block
+  order through a bounded window of block buffers; **bitwise identical
+  for every thread count**, which makes the whole training trajectory
+  thread-count invariant (the strongest reading of the paper's
+  convergence-invariance claim; see DESIGN.md).
+
+Usage::
+
+    executor = ParallelExecutor(num_threads=8, reduction="ordered")
+    solver = SGDSolver(params, net, executor=executor)
+    solver.step(100)
+    executor.close()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.privatization import PrivatePool
+from repro.core.reduction import REDUCTION_MODES, add_into, tree_combine
+from repro.core.scheduling import Schedule, StaticSchedule
+from repro.core.team import RegionContext, ThreadTeam
+from repro.framework.layer import LoopSpec
+from repro.framework.net import Net
+
+
+class ParallelExecutor:
+    """Drives a framework :class:`~repro.framework.net.Net` with
+    batch-level parallelism.
+
+    Parameters
+    ----------
+    num_threads:
+        Team size (1 = sequential semantics through the same code path).
+    schedule:
+        Loop schedule; defaults to OpenMP static, the paper's choice.
+    reduction:
+        One of :data:`~repro.core.reduction.REDUCTION_MODES`.
+    block_window:
+        For ``"blockwise"``: number of block buffers alive at once
+        (bounds the extra memory to ``window x largest layer``).
+    team:
+        Optionally share an existing :class:`ThreadTeam`.
+    """
+
+    def __init__(
+        self,
+        num_threads: int = 1,
+        schedule: Optional[Schedule] = None,
+        reduction: str = "ordered",
+        block_window: int = 8,
+        team: Optional[ThreadTeam] = None,
+    ) -> None:
+        if reduction not in REDUCTION_MODES:
+            raise ValueError(
+                f"unknown reduction mode {reduction!r}; expected one of "
+                f"{REDUCTION_MODES}"
+            )
+        if block_window <= 0:
+            raise ValueError(f"block_window must be positive: {block_window}")
+        if reduction == "ordered" and schedule is not None and not schedule.is_static:
+            raise ValueError(
+                "the ordered reduction requires a static schedule to be "
+                "deterministic; use reduction='atomic' with dynamic/guided"
+            )
+        self.schedule = schedule or StaticSchedule()
+        self.reduction = reduction
+        self.block_window = block_window
+        self._own_team = team is None
+        self.team = team or ThreadTeam(num_threads)
+        self.pool = PrivatePool()
+
+    @property
+    def num_threads(self) -> int:
+        return self.team.num_threads
+
+    # ------------------------------------------------------------------
+    # forward (Algorithm 4 per layer)
+    # ------------------------------------------------------------------
+    def forward(self, net: Net) -> float:
+        total = 0.0
+        for layer, bottom, top in zip(net.layers, net.bottoms, net.tops):
+            layer.reshape(bottom, top)  # sequential, as in Caffe
+            space = layer.forward_space(bottom, top)
+            self.team.parallel_for(
+                space,
+                lambda lo, hi, tid: layer.forward_chunk(bottom, top, lo, hi),
+                self.schedule,
+            )
+            layer.forward_finalize(bottom, top)
+            for top_blob, weight in zip(top, layer.loss_weights):
+                if weight:
+                    total += weight * float(top_blob.flat_data[0])
+        return total
+
+    # ------------------------------------------------------------------
+    # backward (Algorithm 5 per layer)
+    # ------------------------------------------------------------------
+    def backward(self, net: Net) -> None:
+        net._seed_loss_diffs()
+        for i in range(len(net.layers) - 1, -1, -1):
+            layer = net.layers[i]
+            if not any(net.bottom_need_backward[i]) and not layer.blobs:
+                continue
+            loops = layer.backward_loops(
+                net.tops[i], net.bottom_need_backward[i], net.bottoms[i]
+            )
+            for loop in loops:
+                self._run_backward_loop(loop)
+
+    def _run_backward_loop(self, loop: LoopSpec) -> None:
+        if not loop.reduction:
+            self.team.parallel_for(
+                loop.space,
+                lambda lo, hi, tid: loop.body(lo, hi, loop.grad_targets),
+                self.schedule,
+            )
+            return
+        if loop.space <= 0:
+            return
+        if self.reduction == "blockwise":
+            self._blockwise_loop(loop)
+        elif self.reduction in ("ordered", "atomic"):
+            self._privatized_loop(loop, ordered=self.reduction == "ordered")
+        else:  # tree
+            self._tree_loop(loop)
+
+    def _privatized_loop(self, loop: LoopSpec, ordered: bool) -> None:
+        """Algorithm 5: privatized accumulation + ordered/atomic merge."""
+        team = self.team
+        sizes = [t.size for t in loop.grad_targets]
+        if team.num_threads == 1:
+            loop.body(0, loop.space, loop.grad_targets)
+            return
+        plan = (
+            self.schedule.plan(loop.space, team.num_threads)
+            if self.schedule.is_static else None
+        )
+        server = (
+            None if plan is not None
+            else self.schedule.chunk_server(loop.space, team.num_threads)
+        )
+
+        def region(ctx: RegionContext) -> None:
+            grads = self.pool.request(ctx.thread_id, sizes)
+            if plan is not None:
+                for lo, hi in plan[ctx.thread_id]:
+                    loop.body(lo, hi, grads)
+            else:
+                while (chunk := server.next_chunk()) is not None:
+                    loop.body(chunk[0], chunk[1], grads)
+            merge = lambda: add_into(loop.grad_targets, grads)
+            if ordered:
+                ctx.ordered(merge)
+            else:
+                ctx.critical(merge)
+
+        team.parallel(region)
+
+    def _tree_loop(self, loop: LoopSpec) -> None:
+        team = self.team
+        sizes = [t.size for t in loop.grad_targets]
+        if team.num_threads == 1:
+            loop.body(0, loop.space, loop.grad_targets)
+            return
+        plan = self.schedule.plan(loop.space, team.num_threads) \
+            if self.schedule.is_static else None
+        server = None if plan is not None else \
+            self.schedule.chunk_server(loop.space, team.num_threads)
+        per_thread: List[List[np.ndarray]] = [None] * team.num_threads  # type: ignore
+
+        def region(ctx: RegionContext) -> None:
+            grads = self.pool.request(ctx.thread_id, sizes)
+            per_thread[ctx.thread_id] = grads
+            if plan is not None:
+                for lo, hi in plan[ctx.thread_id]:
+                    loop.body(lo, hi, grads)
+            else:
+                while (chunk := server.next_chunk()) is not None:
+                    loop.body(chunk[0], chunk[1], grads)
+
+        team.parallel(region)
+        combined = tree_combine([g for g in per_thread if g is not None])
+        add_into(loop.grad_targets, combined)
+
+    def _blockwise_loop(self, loop: LoopSpec) -> None:
+        """Fixed-block accumulation: bitwise thread-count invariant.
+
+        The space is cut at multiples of ``loop.block`` (block boundaries
+        never depend on the thread count); a window of blocks is computed
+        in parallel — one private buffer per block — then merged in block
+        order by the master.  Memory is bounded by
+        ``block_window x sum(target sizes)``.
+        """
+        block = max(loop.block, 1)
+        nblocks = -(-loop.space // block)
+        sizes = [t.size for t in loop.grad_targets]
+        window = self.block_window
+        for first in range(0, nblocks, window):
+            count = min(window, nblocks - first)
+            buffers = [self.pool.request(slot, sizes) for slot in range(count)]
+
+            def window_body(b_lo: int, b_hi: int, tid: int) -> None:
+                for rel in range(b_lo, b_hi):
+                    block_index = first + rel
+                    lo = block_index * block
+                    hi = min(lo + block, loop.space)
+                    loop.body(lo, hi, buffers[rel])
+
+            self.team.parallel_for(count, window_body, self.schedule)
+            for rel in range(count):  # fixed block order
+                add_into(loop.grad_targets, buffers[rel])
+
+    # ------------------------------------------------------------------
+    # memory accounting & lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def privatization_high_water_bytes(self) -> int:
+        """Extra memory attributable to privatization (Section 3.2.1)."""
+        return self.pool.high_water_bytes
+
+    def close(self) -> None:
+        """Shut the thread team down (if owned) and drop pool storage."""
+        if self._own_team:
+            self.team.shutdown()
+        self.pool.clear()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,70 @@
+"""Gradient merge strategies for the privatized backward pass.
+
+The paper (Section 3.2.1) discusses two: the **ordered** merge — every
+thread adds its private gradients to the shared blob in thread-id order,
+reproducing a deterministic accumulation ("only the ordered execution
+will produce the value obtained through the sequential execution") — and
+the **atomic** alternative ("a reduction-based solution would also be
+valid, but would not ensure the same update value with any number of
+threads"), where threads merge under mutual exclusion in completion
+order.
+
+We add two extensions:
+
+* **tree** — lock-free pairwise combination of the private buffers by the
+  master thread; deterministic per thread count, ``log2(T)`` depth.
+* **blockwise** — implemented by the executor (see
+  :mod:`repro.core.parallel_net`): gradients are accumulated in fixed
+  sample blocks whose boundaries do not depend on the thread count and
+  merged in block order, making the merged value *bitwise identical for
+  every thread count*.  This is the strongest form of the paper's
+  convergence-invariance property and the mode its tests use.
+
+Merge helpers here operate on flat float32 arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+REDUCTION_MODES = ("ordered", "atomic", "tree", "blockwise")
+
+
+def add_into(targets: Sequence[np.ndarray], partials: Sequence[np.ndarray]) -> None:
+    """``targets[i] += partials[i]`` element-wise."""
+    if len(targets) != len(partials):
+        raise ValueError(
+            f"{len(partials)} partial buffers for {len(targets)} targets"
+        )
+    for target, partial in zip(targets, partials):
+        if target.shape != partial.shape:
+            raise ValueError(
+                f"partial shape {partial.shape} != target {target.shape}"
+            )
+        target += partial
+
+
+def tree_combine(per_thread: List[List[np.ndarray]]) -> List[np.ndarray]:
+    """Pairwise-combine per-thread partial lists; returns the root list.
+
+    Combination order is a fixed balanced binary tree over thread ids, so
+    the result is deterministic for a given thread count.  The input
+    buffers are consumed (partials are accumulated in place into the
+    lower-id sibling).
+    """
+    if not per_thread:
+        raise ValueError("tree_combine needs at least one partial list")
+    nodes = list(per_thread)
+    while len(nodes) > 1:
+        next_level = []
+        for i in range(0, len(nodes) - 1, 2):
+            left, right = nodes[i], nodes[i + 1]
+            for dst, src in zip(left, right):
+                dst += src
+            next_level.append(left)
+        if len(nodes) % 2:
+            next_level.append(nodes[-1])
+        nodes = next_level
+    return nodes[0]

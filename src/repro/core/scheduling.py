@@ -1,0 +1,159 @@
+"""Loop schedules: OpenMP's ``schedule(static|dynamic|guided[, chunk])``.
+
+A schedule answers one question: which contiguous iteration ranges does
+each thread execute, and in what order?  Static schedules are computed up
+front (deterministic — required for the paper's ordered-reduction
+determinism argument); dynamic and guided schedules hand out chunks from
+a shared counter at run time.
+
+All schedules partition ``[0, space)`` exactly: the union of all chunks
+is the full range with no overlap (property-tested).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, List, Optional, Tuple
+
+Chunk = Tuple[int, int]  # [lo, hi)
+
+
+class Schedule:
+    """Base class.  Subclasses implement :meth:`plan` (static family) or
+    :meth:`chunk_server` (dynamic family)."""
+
+    #: True when every thread's chunk list is known before execution.
+    is_static = True
+
+    def plan(self, space: int, num_threads: int) -> List[List[Chunk]]:
+        """Per-thread chunk lists for a ``space``-iteration loop."""
+        raise NotImplementedError
+
+    def chunk_server(self, space: int, num_threads: int) -> "ChunkServer":
+        """Shared chunk dispenser (used when :attr:`is_static` is False)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class StaticSchedule(Schedule):
+    """OpenMP ``static`` / ``static, chunk``.
+
+    Without a chunk size, iterations are divided into at most one
+    contiguous block per thread (OpenMP's default): thread ``t`` gets
+    ``ceil(space / T)`` iterations until the space runs out.  With a chunk
+    size, fixed-size chunks are dealt round-robin.
+    """
+
+    def __init__(self, chunk: Optional[int] = None) -> None:
+        if chunk is not None and chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self.chunk = chunk
+
+    def plan(self, space: int, num_threads: int) -> List[List[Chunk]]:
+        if space < 0:
+            raise ValueError(f"space must be non-negative, got {space}")
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        chunks: List[List[Chunk]] = [[] for _ in range(num_threads)]
+        if space == 0:
+            return chunks
+        if self.chunk is None:
+            per = -(-space // num_threads)  # ceil
+            lo = 0
+            for tid in range(num_threads):
+                hi = min(lo + per, space)
+                if lo < hi:
+                    chunks[tid].append((lo, hi))
+                lo = hi
+        else:
+            lo = 0
+            index = 0
+            while lo < space:
+                hi = min(lo + self.chunk, space)
+                chunks[index % num_threads].append((lo, hi))
+                lo = hi
+                index += 1
+        return chunks
+
+    def describe(self) -> str:
+        return "static" if self.chunk is None else f"static,{self.chunk}"
+
+
+class ChunkServer:
+    """Thread-safe dispenser of contiguous chunks for dynamic schedules."""
+
+    def __init__(self, chunk_iter: Iterator[Chunk]) -> None:
+        self._iter = chunk_iter
+        self._lock = threading.Lock()
+
+    def next_chunk(self) -> Optional[Chunk]:
+        with self._lock:
+            return next(self._iter, None)
+
+
+class DynamicSchedule(Schedule):
+    """OpenMP ``dynamic, chunk``: fixed-size chunks claimed on demand."""
+
+    is_static = False
+
+    def __init__(self, chunk: int = 1) -> None:
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self.chunk = chunk
+
+    def chunk_server(self, space: int, num_threads: int) -> ChunkServer:
+        def chunks() -> Iterator[Chunk]:
+            lo = 0
+            while lo < space:
+                hi = min(lo + self.chunk, space)
+                yield (lo, hi)
+                lo = hi
+
+        return ChunkServer(chunks())
+
+    def describe(self) -> str:
+        return f"dynamic,{self.chunk}"
+
+
+class GuidedSchedule(Schedule):
+    """OpenMP ``guided, chunk``: chunk size proportional to the remaining
+    iterations divided by the thread count, floored at ``chunk``."""
+
+    is_static = False
+
+    def __init__(self, chunk: int = 1) -> None:
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self.chunk = chunk
+
+    def chunk_server(self, space: int, num_threads: int) -> ChunkServer:
+        def chunks() -> Iterator[Chunk]:
+            lo = 0
+            while lo < space:
+                remaining = space - lo
+                size = max(remaining // (2 * num_threads), self.chunk)
+                hi = min(lo + size, space)
+                yield (lo, hi)
+                lo = hi
+
+        return ChunkServer(chunks())
+
+    def describe(self) -> str:
+        return f"guided,{self.chunk}"
+
+
+def make_schedule(name: str) -> Schedule:
+    """Parse an OpenMP-style schedule string, e.g. ``"static"``,
+    ``"static,4"``, ``"dynamic,2"``, ``"guided"``."""
+    parts = [p.strip() for p in name.split(",")]
+    kind = parts[0].lower()
+    chunk = int(parts[1]) if len(parts) > 1 else None
+    if kind == "static":
+        return StaticSchedule(chunk)
+    if kind == "dynamic":
+        return DynamicSchedule(chunk or 1)
+    if kind == "guided":
+        return GuidedSchedule(chunk or 1)
+    raise ValueError(f"unknown schedule {name!r}")

@@ -1,0 +1,301 @@
+"""ThreadTeam: an OpenMP-like thread team on Python threads.
+
+A team owns ``num_threads - 1`` persistent worker threads (the calling
+thread acts as thread 0, as in OpenMP).  ``parallel(fn)`` opens a parallel
+region: every thread runs ``fn(ctx)`` with a :class:`RegionContext` giving
+its thread id and the synchronization primitives of the paper's
+Algorithms 4/5 — ``barrier()``, ``critical()`` and ``ordered()``.
+
+Python's GIL means pure-Python sections do not overlap, but the numpy /
+BLAS kernels each chunk executes release the GIL, so chunks genuinely
+interleave — the runtime exercises real concurrency (races in a wrongly
+privatized layer *will* manifest), even though single-core wall-clock
+speedup is not observable in this container.
+
+Worker exceptions are captured and re-raised in the caller as
+:class:`WorkerError` with the originating thread id.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Callable, List, Optional
+
+from repro.core.scheduling import Schedule, StaticSchedule
+
+
+class _RegionAborted(Exception):
+    """Internal: a peer thread failed; unblock and unwind this one."""
+
+
+class WorkerError(RuntimeError):
+    """An exception escaped a parallel region on some thread."""
+
+    def __init__(self, thread_id: int, original: BaseException, tb: str) -> None:
+        super().__init__(
+            f"worker thread {thread_id} raised "
+            f"{type(original).__name__}: {original}\n{tb}"
+        )
+        self.thread_id = thread_id
+        self.original = original
+
+
+class RegionContext:
+    """Per-thread view of a parallel region (what ``omp_get_thread_num``
+    and friends expose)."""
+
+    def __init__(self, team: "ThreadTeam", thread_id: int) -> None:
+        self._team = team
+        self.thread_id = thread_id
+        self.num_threads = team.num_threads
+
+    def barrier(self) -> None:
+        """Wait until every team thread reaches this point."""
+        self._team._barrier.wait()
+
+    def critical(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` under the team-wide mutual exclusion lock."""
+        with self._team._critical_lock:
+            fn()
+
+    def ordered(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` when it is this thread's turn, in thread-id order.
+
+        This is the construct of Algorithm 5 lines 22-24: each thread
+        incorporates its privatized gradients into the shared blob only
+        after all lower-numbered threads have done so, reproducing the
+        sequential accumulation order.
+        """
+        turn = self._team._ordered_turn
+        with turn["cond"]:
+            while turn["next"] != self.thread_id and not turn["aborted"]:
+                turn["cond"].wait()
+            if turn["aborted"]:
+                raise _RegionAborted()
+        try:
+            fn()
+        finally:
+            with turn["cond"]:
+                turn["next"] += 1
+                turn["cond"].notify_all()
+
+
+class ThreadTeam:
+    """Persistent OpenMP-like thread team.
+
+    Parameters
+    ----------
+    num_threads:
+        Team size, including the calling (master) thread.  ``1`` runs
+        everything inline.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, num_threads: int) -> None:
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        self.num_threads = num_threads
+        self._barrier = threading.Barrier(num_threads)
+        self._critical_lock = threading.Lock()
+        self._ordered_turn = {
+            "cond": threading.Condition(), "next": 0, "aborted": False,
+        }
+        self._region_fn: Optional[Callable[[RegionContext], None]] = None
+        self._errors: List[Optional[WorkerError]] = [None] * num_threads
+        self._start = threading.Barrier(num_threads)
+        self._finish = threading.Barrier(num_threads)
+        self._shutdown = False
+        self._workers: List[threading.Thread] = []
+        for tid in range(1, num_threads):
+            worker = threading.Thread(
+                target=self._worker_loop, args=(tid,),
+                name=f"team-worker-{tid}", daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    # ------------------------------------------------------------------
+    # region execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self, thread_id: int) -> None:
+        while True:
+            self._start.wait()
+            if self._shutdown:
+                return
+            fn = self._region_fn
+            assert fn is not None
+            try:
+                fn(RegionContext(self, thread_id))
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                self._errors[thread_id] = WorkerError(
+                    thread_id, exc, traceback.format_exc()
+                )
+                self._abort_region()
+            self._finish.wait()
+
+    def _abort_region(self) -> None:
+        """A failed thread must not deadlock peers waiting on its turn or
+        at a barrier: mark the region aborted and break the barrier."""
+        turn = self._ordered_turn
+        with turn["cond"]:
+            turn["aborted"] = True
+            turn["cond"].notify_all()
+        self._barrier.abort()
+
+    def parallel(self, fn: Callable[[RegionContext], None]) -> None:
+        """Run ``fn(ctx)`` on every team thread; the caller is thread 0.
+
+        Blocks until the region completes on all threads; re-raises the
+        lowest-numbered thread's :class:`WorkerError` if any failed.
+        """
+        if self._shutdown:
+            raise RuntimeError("thread team is shut down")
+        if self.num_threads == 1:
+            fn(RegionContext(self, 0))
+            self._reset_region_state()
+            return
+        self._region_fn = fn
+        self._errors = [None] * self.num_threads
+        self._start.wait()
+        try:
+            fn(RegionContext(self, 0))
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            self._errors[0] = WorkerError(0, exc, traceback.format_exc())
+            self._abort_region()
+        self._finish.wait()
+        self._region_fn = None
+        errors = [e for e in self._errors if e is not None]
+        self._reset_region_state()
+        if errors:
+            # Prefer the root cause over abort-induced secondary errors.
+            root = next(
+                (e for e in errors
+                 if not isinstance(e.original, _RegionAborted)),
+                errors[0],
+            )
+            raise root
+
+    def _reset_region_state(self) -> None:
+        self._ordered_turn["next"] = 0
+        if self._ordered_turn["aborted"]:
+            self._ordered_turn["aborted"] = False
+            self._barrier.reset()
+
+    # ------------------------------------------------------------------
+    # worksharing helper
+    # ------------------------------------------------------------------
+    def parallel_for(
+        self,
+        space: int,
+        body: Callable[[int, int, int], None],
+        schedule: Optional[Schedule] = None,
+    ) -> None:
+        """Worksharing loop: ``body(lo, hi, thread_id)`` per chunk.
+
+        ``schedule`` defaults to plain static (the paper's choice).  An
+        implicit barrier ends the loop, as in OpenMP.
+        """
+        schedule = schedule or StaticSchedule()
+        if space <= 0:
+            return
+        if self.num_threads == 1 or space == 1:
+            if schedule.is_static:
+                for lo, hi in [
+                    c for per in schedule.plan(space, 1) for c in per
+                ]:
+                    body(lo, hi, 0)
+            else:
+                server = schedule.chunk_server(space, 1)
+                while (chunk := server.next_chunk()) is not None:
+                    body(chunk[0], chunk[1], 0)
+            return
+
+        if schedule.is_static:
+            plan = schedule.plan(space, self.num_threads)
+
+            def region(ctx: RegionContext) -> None:
+                for lo, hi in plan[ctx.thread_id]:
+                    body(lo, hi, ctx.thread_id)
+
+        else:
+            server = schedule.chunk_server(space, self.num_threads)
+
+            def region(ctx: RegionContext) -> None:
+                while (chunk := server.next_chunk()) is not None:
+                    body(chunk[0], chunk[1], ctx.thread_id)
+
+        self.parallel(region)
+
+    def parallel_for_nest(
+        self,
+        dims,
+        body: Callable[..., None],
+        schedule: Optional[Schedule] = None,
+        collapse: Optional[int] = None,
+    ) -> None:
+        """Worksharing over a loop nest — Algorithm 4 as a literal API.
+
+        The outermost ``collapse`` loops of the nest ``dims`` (all of
+        them by default, like OpenMP's ``collapse(n)`` on a perfect
+        nest) are coalesced into one induction variable and distributed;
+        ``body(*indices, thread_id=...)`` runs once per iteration of the
+        coalesced space with the original indices recovered through the
+        ``f_s, f_1, ..., f_k`` maps.
+
+        For vectorizable work prefer :meth:`parallel_for` over a layer's
+        chunk protocol; this entry point exists for the per-iteration
+        style of the paper's pseudo-code and for irregular bodies.
+        """
+        from repro.core.coalesce import CoalescedSpace
+
+        dims = tuple(int(d) for d in dims)
+        depth = len(dims) if collapse is None else int(collapse)
+        if not 1 <= depth <= len(dims):
+            raise ValueError(
+                f"collapse depth {depth} invalid for {len(dims)} loops"
+            )
+        outer = CoalescedSpace(dims[:depth])
+        inner_dims = dims[depth:]
+
+        def chunk_body(lo: int, hi: int, tid: int) -> None:
+            import itertools
+            for civ in range(lo, hi):
+                indices = outer.indices(civ)
+                if inner_dims:
+                    for rest in itertools.product(
+                        *(range(d) for d in inner_dims)
+                    ):
+                        body(*indices, *rest, thread_id=tid)
+                else:
+                    body(*indices, thread_id=tid)
+
+        self.parallel_for(outer.size, chunk_body, schedule)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop and join the worker threads (idempotent)."""
+        if self._shutdown or self.num_threads == 1:
+            self._shutdown = True
+            return
+        self._shutdown = True
+        self._start.wait()
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+        self._workers.clear()
+
+    def __enter__(self) -> "ThreadTeam":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            if not self._shutdown and self._workers:
+                self.shutdown()
+        except Exception:
+            pass

@@ -1,0 +1,148 @@
+"""Execution tracing: real per-layer timing of the parallel runtime.
+
+The paper's Figures 4 and 7 are per-layer execution-time breakdowns.
+On real multi-core hardware this module produces the same breakdown from
+*measured* wall time: a :class:`TracingExecutor` wraps any executor-like
+object and records one event per layer pass (name, pass, duration,
+thread count), aggregating across iterations.
+
+On the single-core evaluation container the absolute numbers carry no
+scaling information, but the breakdown is still faithful to the real
+Python/numpy execution and the tracer is what a user on a real 16-core
+machine runs to regenerate Figure 4 from measurements rather than from
+the model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.framework.net import Net
+
+
+@dataclass
+class TraceEvent:
+    """One timed layer pass."""
+
+    layer: str
+    pass_: str  # "forward" or "backward"
+    seconds: float
+    threads: int
+
+
+@dataclass
+class Trace:
+    """Aggregated timing of a traced run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, layer: str, pass_: str, seconds: float,
+               threads: int) -> None:
+        self.events.append(TraceEvent(layer, pass_, seconds, threads))
+
+    def totals(self) -> Dict[Tuple[str, str], float]:
+        """Total seconds per (layer, pass)."""
+        out: Dict[Tuple[str, str], float] = {}
+        for event in self.events:
+            key = (event.layer, event.pass_)
+            out[key] = out.get(key, 0.0) + event.seconds
+        return out
+
+    def shares(self) -> Dict[Tuple[str, str], float]:
+        """Fraction of total time per (layer, pass) — the relative
+        weights of Figures 4/7."""
+        totals = self.totals()
+        overall = sum(totals.values())
+        if overall <= 0:
+            return {key: 0.0 for key in totals}
+        return {key: value / overall for key, value in totals.items()}
+
+    def table(self) -> str:
+        """Figure-4-style text table (microseconds and shares)."""
+        totals = self.totals()
+        overall = sum(totals.values()) or 1.0
+        lines = [f"{'layer':<12}{'pass':<10}{'time (us)':>12}{'share':>8}"]
+        for (layer, pass_), seconds in sorted(
+            totals.items(), key=lambda item: -item[1]
+        ):
+            lines.append(
+                f"{layer:<12}{pass_:<10}{seconds * 1e6:>12.1f}"
+                f"{seconds / overall * 100:>7.1f}%"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class TracingExecutor:
+    """Wraps an executor and times each layer pass.
+
+    Works with both the sequential path (pass any object with
+    ``forward(net)``/``backward(net)``) and :class:`ParallelExecutor`.
+    The wrapped executor's layer loop is re-driven here so each layer
+    gets its own timestamp; semantics are unchanged (same chunking,
+    same reductions) because the underlying executor's own per-layer
+    machinery is reused.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.trace = Trace()
+
+    @property
+    def _threads(self) -> int:
+        return getattr(self.inner, "num_threads", 1)
+
+    def forward(self, net: Net) -> float:
+        total = 0.0
+        for i, layer in enumerate(net.layers):
+            bottom, top = net.bottoms[i], net.tops[i]
+            start = time.perf_counter()
+            total += self._forward_layer(layer, bottom, top)
+            self.trace.record(layer.name, "forward",
+                              time.perf_counter() - start, self._threads)
+        return total
+
+    def _forward_layer(self, layer, bottom, top) -> float:
+        if hasattr(self.inner, "team"):
+            layer.reshape(bottom, top)
+            space = layer.forward_space(bottom, top)
+            self.inner.team.parallel_for(
+                space,
+                lambda lo, hi, tid: layer.forward_chunk(bottom, top, lo, hi),
+                self.inner.schedule,
+            )
+            layer.forward_finalize(bottom, top)
+            loss = 0.0
+            for top_blob, weight in zip(top, layer.loss_weights):
+                if weight:
+                    loss += weight * float(top_blob.flat_data[0])
+            return loss
+        return layer.forward(bottom, top)
+
+    def backward(self, net: Net) -> None:
+        net._seed_loss_diffs()
+        for i in range(len(net.layers) - 1, -1, -1):
+            layer = net.layers[i]
+            if not any(net.bottom_need_backward[i]) and not layer.blobs:
+                continue
+            start = time.perf_counter()
+            self._backward_layer(net, i)
+            self.trace.record(layer.name, "backward",
+                              time.perf_counter() - start, self._threads)
+
+    def _backward_layer(self, net: Net, index: int) -> None:
+        layer = net.layers[index]
+        if hasattr(self.inner, "_run_backward_loop"):
+            for loop in layer.backward_loops(
+                net.tops[index], net.bottom_need_backward[index],
+                net.bottoms[index],
+            ):
+                self.inner._run_backward_loop(loop)
+        else:
+            layer.backward(net.tops[index],
+                           net.bottom_need_backward[index],
+                           net.bottoms[index])

@@ -1,0 +1,103 @@
+"""Batch sources: the LMDB-reader substitute feeding the Data layer.
+
+A batch source exposes one sample shape and an infinite stream of batches
+(wrapping around the underlying dataset, as Caffe's DB readers do).  The
+stream order is deterministic for a given seed, which the reproduction's
+convergence-invariance experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple
+
+import numpy as np
+
+
+class BatchSource(Protocol):
+    """Protocol consumed by :class:`repro.framework.layers.data.DataLayer`."""
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """``(channels, height, width)`` of one sample."""
+        ...
+
+    def next_batch(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(images, labels)`` with ``images`` of shape
+        ``(batch_size, C, H, W)`` and integer ``labels`` of shape
+        ``(batch_size,)``."""
+        ...
+
+
+class ArrayBatchSource:
+    """Serves batches from in-memory arrays, with optional shuffling.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(n, C, H, W)``.
+    labels:
+        Integer array of shape ``(n,)``.
+    shuffle:
+        Re-permute the epoch order each wrap-around.
+    seed:
+        Seed for the shuffling stream (ignored when ``shuffle`` is False).
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        shuffle: bool = False,
+        seed: int = 0,
+    ) -> None:
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels)
+        if images.ndim != 4:
+            raise ValueError(f"images must be (n, C, H, W), got {images.shape}")
+        if labels.shape != (images.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match "
+                f"{images.shape[0]} images"
+            )
+        if images.shape[0] == 0:
+            raise ValueError("batch source needs at least one sample")
+        self._images = images
+        self._labels = labels
+        self._shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+        self._order = np.arange(images.shape[0])
+        if shuffle:
+            self._rng.shuffle(self._order)
+        self._cursor = 0
+        self.epochs_completed = 0
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return tuple(self._images.shape[1:])  # type: ignore[return-value]
+
+    @property
+    def size(self) -> int:
+        return self._images.shape[0]
+
+    def next_batch(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        picks = np.empty(batch_size, dtype=np.int64)
+        filled = 0
+        while filled < batch_size:
+            take = min(batch_size - filled, self.size - self._cursor)
+            picks[filled : filled + take] = self._order[
+                self._cursor : self._cursor + take
+            ]
+            self._cursor += take
+            filled += take
+            if self._cursor == self.size:
+                self._cursor = 0
+                self.epochs_completed += 1
+                if self._shuffle:
+                    self._rng.shuffle(self._order)
+        return self._images[picks], self._labels[picks]
+
+    def reset(self) -> None:
+        """Rewind to the start of the (current) epoch order."""
+        self._cursor = 0

@@ -1,0 +1,68 @@
+"""Default data-source registrations for the zoo prototxts.
+
+The zoo network definitions reference sources by name (e.g.
+``source: "synth_mnist_train"``), just as Caffe's reference prototxts
+point at LMDB paths.  Calling :func:`register_default_sources` installs
+factories for all of them.  Dataset construction is cached so repeated
+net builds do not re-render the synthetic images.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.data.batch_source import ArrayBatchSource
+from repro.data.synth_cifar import SyntheticCIFAR10
+from repro.data.synth_mnist import SyntheticMNIST
+from repro.framework.layers.data import register_source
+
+#: Sample counts for the default synthetic datasets.  Small enough to
+#: render quickly, large enough to show convergence.
+TRAIN_SAMPLES = 2048
+TEST_SAMPLES = 512
+
+
+@lru_cache(maxsize=None)
+def _mnist(split: str) -> SyntheticMNIST:
+    if split == "train":
+        return SyntheticMNIST(n_samples=TRAIN_SAMPLES, seed=1)
+    return SyntheticMNIST(n_samples=TEST_SAMPLES, seed=2)
+
+
+@lru_cache(maxsize=None)
+def _cifar(split: str) -> SyntheticCIFAR10:
+    if split == "train":
+        return SyntheticCIFAR10(n_samples=TRAIN_SAMPLES, seed=3)
+    return SyntheticCIFAR10(n_samples=TEST_SAMPLES, seed=4)
+
+
+def register_default_sources() -> None:
+    """Register the four named sources the zoo prototxts use.
+
+    Sources are created fresh per call (so each net gets an independent
+    cursor), but the underlying datasets are cached.
+    """
+    register_source(
+        "synth_mnist_train",
+        lambda: ArrayBatchSource(
+            _mnist("train").images, _mnist("train").labels, shuffle=False
+        ),
+    )
+    register_source(
+        "synth_mnist_test",
+        lambda: ArrayBatchSource(
+            _mnist("test").images, _mnist("test").labels, shuffle=False
+        ),
+    )
+    register_source(
+        "synth_cifar_train",
+        lambda: ArrayBatchSource(
+            _cifar("train").images, _cifar("train").labels, shuffle=False
+        ),
+    )
+    register_source(
+        "synth_cifar_test",
+        lambda: ArrayBatchSource(
+            _cifar("test").images, _cifar("test").labels, shuffle=False
+        ),
+    )

@@ -1,0 +1,312 @@
+"""Layer base class, the chunk protocol, and the layer type registry.
+
+Every layer mirrors the structure of the paper's Algorithms 2 and 3: a
+nest of loops over the dimensions ``(S, D1, ..., DN)`` of the input blob,
+applying a BLAS transformation per data segment.  The coarse-grain
+parallelization (Algorithms 4 and 5) coalesces the outermost ``k`` of
+those loops into a single iteration variable ``civ`` and distributes
+contiguous ranges of ``civ`` across threads.
+
+To make that *network-agnostic* — applicable to any layer without knowing
+its computation — the base class defines the **chunk protocol**:
+
+* :meth:`Layer.forward_space` — the coalesced iteration count of the
+  forward pass (``S * D1 * ... * Dk``).
+* :meth:`Layer.forward_chunk` — process iterations ``[lo, hi)`` of the
+  forward pass.  Chunks write disjoint regions of the top blob, so threads
+  need no synchronization.
+* :meth:`Layer.backward_space` / :meth:`Layer.backward_chunk` — same for
+  the backward pass.  ``backward_chunk`` receives *private* gradient
+  buffers (one per parameter blob) to accumulate coefficient gradients
+  into; the runtime merges them with an ordered reduction (Algorithm 5,
+  lines 22-24).  Bottom-diff regions of distinct chunks are disjoint, so
+  they are written directly.
+
+The sequential path is *defined as* the chunk path over the full range —
+``forward_cpu == forward_chunk(0, forward_space)`` — which is what makes
+the parallel execution bitwise-comparable to the sequential one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.framework.blob import Blob
+from repro.framework.net_spec import LayerSpec
+
+
+@dataclass
+class LoopSpec:
+    """One parallel loop of a layer's backward pass.
+
+    ``body(lo, hi, grads)`` processes coalesced iterations ``[lo, hi)``.
+    When :attr:`reduction` is set, ``grads`` holds private accumulation
+    buffers (flat, one per entry of :attr:`grad_targets`) that the runtime
+    merges into the targets afterwards; otherwise ``grads`` is the target
+    list itself (the body writes disjoint regions directly).
+    """
+
+    space: int
+    body: Callable[[int, int, Sequence[np.ndarray]], None]
+    reduction: bool = False
+    grad_targets: Tuple[np.ndarray, ...] = field(default_factory=tuple)
+    block: int = 1
+
+LayerParams = Dict[str, object]
+
+_REGISTRY: Dict[str, Type["Layer"]] = {}
+
+
+def register_layer(*type_names: str) -> Callable[[Type["Layer"]], Type["Layer"]]:
+    """Class decorator registering a layer under one or more type names."""
+
+    def decorator(cls: Type["Layer"]) -> Type["Layer"]:
+        for type_name in type_names:
+            key = type_name.lower()
+            if key in _REGISTRY:
+                raise ValueError(f"layer type {type_name!r} registered twice")
+            _REGISTRY[key] = cls
+        cls.type_names = tuple(type_names)
+        return cls
+
+    return decorator
+
+
+def create_layer(spec: LayerSpec) -> "Layer":
+    """Instantiate the registered layer class for ``spec.type``."""
+    cls = _REGISTRY.get(spec.type.lower())
+    if cls is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown layer type {spec.type!r}; known types: {known}")
+    return cls(spec)
+
+
+def registered_layer_types() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+class Layer:
+    """Base class of all layers.
+
+    Subclasses implement :meth:`setup`, :meth:`reshape`,
+    :meth:`forward_chunk` and :meth:`backward_chunk`; everything else
+    (sequential drivers, gradient-space defaults) is derived.
+    """
+
+    type_names: tuple = ()
+
+    def __init__(self, spec: LayerSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        #: Parameter blobs (coefficients), e.g. ``[weights, bias]``.
+        self.blobs: List[Blob] = []
+        #: Per-top-blob loss weights; non-zero marks a loss output.
+        self.loss_weights: List[float] = []
+        self._setup_done = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        """One-time initialization: validate counts, create parameters."""
+        self.check_blob_counts(bottom, top)
+        self.layer_setup(bottom, top)
+        self.reshape(bottom, top)
+        self.loss_weights = [0.0] * len(top)
+        default = self.default_loss_weight()
+        weight = self.spec.loss_weight
+        if weight is None:
+            weight = default
+        if weight:
+            self.loss_weights[0] = float(weight)
+        self._setup_done = True
+
+    def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        """Subclass hook: create parameter blobs, parse params."""
+
+    def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        """Shape the top blobs (and scratch space) from the bottoms."""
+        raise NotImplementedError
+
+    def default_loss_weight(self) -> float:
+        """Loss layers override this to return 1.0."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # blob-count contracts
+    # ------------------------------------------------------------------
+    exact_num_bottom: int | None = None
+    min_num_bottom: int | None = None
+    max_num_bottom: int | None = None
+    exact_num_top: int | None = None
+    min_num_top: int | None = None
+    max_num_top: int | None = None
+
+    def check_blob_counts(
+        self, bottom: Sequence[Blob], top: Sequence[Blob]
+    ) -> None:
+        def check(label: str, blobs: Sequence[Blob], exact, lo, hi) -> None:
+            n = len(blobs)
+            if exact is not None and n != exact:
+                raise ValueError(
+                    f"layer {self.name!r}: expected exactly {exact} {label} "
+                    f"blob(s), got {n}"
+                )
+            if lo is not None and n < lo:
+                raise ValueError(
+                    f"layer {self.name!r}: expected at least {lo} {label} "
+                    f"blob(s), got {n}"
+                )
+            if hi is not None and n > hi:
+                raise ValueError(
+                    f"layer {self.name!r}: expected at most {hi} {label} "
+                    f"blob(s), got {n}"
+                )
+
+        check("bottom", bottom, self.exact_num_bottom, self.min_num_bottom,
+              self.max_num_bottom)
+        check("top", top, self.exact_num_top, self.min_num_top,
+              self.max_num_top)
+
+    # ------------------------------------------------------------------
+    # chunk protocol (the coarse-grain iteration space)
+    # ------------------------------------------------------------------
+    def forward_space(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> int:
+        """Total coalesced iterations of the forward pass.
+
+        Defaults to the batch size (pure batch-level parallelism, no
+        coalescing); layers override to expose deeper coalescing
+        (Algorithm 4's ``S * D1 * ... * Dk``).
+        """
+        return bottom[0].shape[0] if bottom and bottom[0].num_axes else 1
+
+    def forward_chunk(
+        self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
+    ) -> None:
+        """Process forward iterations ``[lo, hi)``; must write only the
+        top regions owned by those iterations."""
+        raise NotImplementedError
+
+    def backward_space(self, top: Sequence[Blob], bottom: Sequence[Blob]) -> int:
+        """Total coalesced iterations of the backward pass (defaults to
+        the forward space)."""
+        return self.forward_space(bottom, top)
+
+    def backward_chunk(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+        lo: int,
+        hi: int,
+        param_grads: Sequence[np.ndarray],
+    ) -> None:
+        """Process backward iterations ``[lo, hi)``.
+
+        ``param_grads`` holds one flat array per parameter blob;
+        coefficient gradients for the chunk are *accumulated* into them
+        (the privatized ``private-diffs`` of Algorithm 5).  Bottom diffs
+        owned by the chunk are written directly (disjoint regions).
+        """
+        raise NotImplementedError
+
+    def forward_finalize(
+        self, bottom: Sequence[Blob], top: Sequence[Blob]
+    ) -> None:
+        """Sequential epilogue run once after all forward chunks.
+
+        Layers whose top is a reduction over samples (losses, accuracy)
+        compute per-sample partials in :meth:`forward_chunk` and fold them
+        here, in fixed sample order — keeping the scalar bitwise identical
+        for any thread count.
+        """
+
+    def grad_block(self, space: int, batch: int) -> int:
+        """Accumulation-block size for deterministic gradient merges.
+
+        The runtime never lets a gradient accumulation block straddle two
+        threads; see :mod:`repro.core.reduction`.  The default is the
+        per-sample extent of the coalesced space.
+        """
+        if batch <= 0 or space <= 0:
+            return max(space, 1)
+        per_sample = space // batch
+        return max(per_sample, 1)
+
+    def backward_loops(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+    ) -> List[LoopSpec]:
+        """The backward pass as a list of parallel loops.
+
+        The default is a single loop over :meth:`backward_space` calling
+        :meth:`backward_chunk`, requiring a privatized reduction exactly
+        when the layer has coefficients.  Layers can override to decompose
+        differently (e.g. InnerProduct computes weight gradients over
+        disjoint output rows, avoiding the reduction entirely).
+        """
+        space = self.backward_space(top, bottom)
+        batch = bottom[0].shape[0] if bottom and bottom[0].num_axes else 1
+
+        def body(lo: int, hi: int, grads: Sequence[np.ndarray]) -> None:
+            self.backward_chunk(top, propagate_down, bottom, lo, hi, grads)
+
+        return [
+            LoopSpec(
+                space=space,
+                body=body,
+                reduction=bool(self.blobs),
+                grad_targets=tuple(blob.flat_diff for blob in self.blobs),
+                block=self.grad_block(space, batch),
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # sequential drivers (defined via the chunk path)
+    # ------------------------------------------------------------------
+    def forward(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> float:
+        """Sequential forward pass; returns this layer's loss contribution."""
+        self.reshape(bottom, top)
+        space = self.forward_space(bottom, top)
+        self.forward_chunk(bottom, top, 0, space)
+        self.forward_finalize(bottom, top)
+        loss = 0.0
+        for top_blob, weight in zip(top, self.loss_weights):
+            if weight:
+                loss += weight * float(top_blob.flat_data[0])
+        return loss
+
+    def backward(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+    ) -> None:
+        """Sequential backward pass, accumulating into ``self.blobs`` diffs.
+
+        Defined as each backward loop run over its full range with the
+        real diffs as accumulation targets — the same code path the
+        parallel runtime chunks, which is what makes the two executions
+        comparable value-for-value.
+        """
+        for loop in self.backward_loops(top, propagate_down, bottom):
+            loop.body(0, loop.space, loop.grad_targets)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    @property
+    def type(self) -> str:
+        return self.spec.type
+
+    def param_memory_bytes(self) -> int:
+        """Bytes of coefficient storage (used by the memory experiment)."""
+        return sum(blob.nbytes for blob in self.blobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

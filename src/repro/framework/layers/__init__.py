@@ -1,0 +1,63 @@
+"""Layer zoo.
+
+Importing this package registers every layer type with the framework
+registry (:func:`repro.framework.layer.create_layer`).  The set covers the
+layers used by the paper's two networks (Data, Convolution, Pooling, ReLU,
+LRN, InnerProduct, SoftmaxWithLoss, Accuracy) plus the common remainder of
+the Caffe zoo needed for realistic DAGs (Sigmoid, TanH, Power, Dropout,
+Flatten, Split, Concat, Eltwise, Softmax, EuclideanLoss, Input, MemoryData).
+"""
+
+from repro.framework.layers.accuracy import AccuracyLayer
+from repro.framework.layers.concat import ConcatLayer
+from repro.framework.layers.conv import ConvolutionLayer
+from repro.framework.layers.data import DataLayer, InputLayer, MemoryDataLayer
+from repro.framework.layers.dropout import DropoutLayer
+from repro.framework.layers.eltwise import EltwiseLayer
+from repro.framework.layers.flatten import FlattenLayer
+from repro.framework.layers.inner_product import InnerProductLayer
+from repro.framework.layers.loss import EuclideanLossLayer, SoftmaxWithLossLayer
+from repro.framework.layers.lrn import LRNLayer
+from repro.framework.layers.neuron import (
+    AbsValLayer,
+    BNLLLayer,
+    ExpLayer,
+    LogLayer,
+    PowerLayer,
+    ReLULayer,
+    SigmoidLayer,
+    TanHLayer,
+)
+from repro.framework.layers.scale import BiasLayer, ScaleLayer
+from repro.framework.layers.pooling import PoolingLayer
+from repro.framework.layers.softmax import SoftmaxLayer
+from repro.framework.layers.split import SplitLayer
+
+__all__ = [
+    "AbsValLayer",
+    "AccuracyLayer",
+    "BNLLLayer",
+    "BiasLayer",
+    "ExpLayer",
+    "LogLayer",
+    "ScaleLayer",
+    "ConcatLayer",
+    "ConvolutionLayer",
+    "DataLayer",
+    "DropoutLayer",
+    "EltwiseLayer",
+    "EuclideanLossLayer",
+    "FlattenLayer",
+    "InnerProductLayer",
+    "InputLayer",
+    "LRNLayer",
+    "MemoryDataLayer",
+    "PoolingLayer",
+    "PowerLayer",
+    "ReLULayer",
+    "SigmoidLayer",
+    "SoftmaxLayer",
+    "SoftmaxWithLossLayer",
+    "SplitLayer",
+    "TanHLayer",
+]

@@ -1,0 +1,85 @@
+"""Concat layer: joins blobs along one axis (default: channels)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.framework.blob import Blob
+from repro.framework.layer import Layer, register_layer
+
+
+@register_layer("Concat")
+class ConcatLayer(Layer):
+    """Concatenate bottoms along ``axis`` (default 1).
+
+    The coalesced space is the outer extent before the concat axis (the
+    batch, for the default), so one iteration assembles one sample's
+    concatenated block.
+    """
+
+    min_num_bottom = 1
+    exact_num_top = 1
+
+    def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        self.axis = bottom[0].canonical_axis(int(self.spec.param("axis", 1)))
+
+    def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        ref = bottom[0].shape
+        concat_total = 0
+        for b in bottom:
+            shape = b.shape
+            if len(shape) != len(ref):
+                raise ValueError(
+                    f"layer {self.name!r}: rank mismatch {shape} vs {ref}"
+                )
+            for ax, (da, db) in enumerate(zip(shape, ref)):
+                if ax != self.axis and da != db:
+                    raise ValueError(
+                        f"layer {self.name!r}: non-concat axis {ax} differs "
+                        f"({da} vs {db})"
+                    )
+            concat_total += shape[self.axis]
+        out_shape = list(ref)
+        out_shape[self.axis] = concat_total
+        top[0].reshape(tuple(out_shape))
+        self.outer = 1
+        for dim in ref[: self.axis]:
+            self.outer *= dim
+        self._bottom_inner = [
+            b.count // self.outer for b in bottom
+        ]
+        self._top_inner = top[0].count // self.outer
+
+    def forward_space(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> int:
+        return self.outer
+
+    def forward_chunk(
+        self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
+    ) -> None:
+        out = top[0].flat_data.reshape(self.outer, self._top_inner)[lo:hi]
+        offset = 0
+        for b, inner in zip(bottom, self._bottom_inner):
+            src = b.flat_data.reshape(self.outer, inner)[lo:hi]
+            out[:, offset : offset + inner] = src
+            offset += inner
+        top[0].mark_host_data_dirty()
+
+    def backward_chunk(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+        lo: int,
+        hi: int,
+        param_grads: Sequence[np.ndarray],
+    ) -> None:
+        dtop = top[0].flat_diff.reshape(self.outer, self._top_inner)[lo:hi]
+        offset = 0
+        for b, inner, prop in zip(bottom, self._bottom_inner, propagate_down):
+            if prop:
+                dst = b.flat_diff.reshape(self.outer, inner)[lo:hi]
+                np.copyto(dst, dtop[:, offset : offset + inner])
+                b.mark_host_diff_dirty()
+            offset += inner

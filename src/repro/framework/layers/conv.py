@@ -1,0 +1,216 @@
+"""Convolution layer, lowered to im2col + gemm per sample.
+
+The coarse-grain iteration space is the batch dimension ``S``: one
+iteration unfolds one image into a column matrix and multiplies it against
+the filter bank — the exact per-sample work unit the paper assigns to a
+thread chunk for the conv1/conv2/conv3 layers.  The column scratch buffer
+is allocated per chunk call, so concurrent chunks never share scratch
+(the "object privatization" of Algorithm 4, line 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import blaslib
+from repro.blaslib.im2col import conv_out_size
+from repro.framework.blob import DTYPE, Blob
+from repro.framework.fillers import FillerSpec, fill
+from repro.framework.layer import Layer, register_layer
+
+
+def _pair(spec, base: str, default=None) -> tuple[int, int]:
+    """Resolve Caffe's ``kernel_size`` vs ``kernel_h``/``kernel_w`` style
+    parameters into an ``(h, w)`` pair."""
+    h = spec.param(f"{base}_h")
+    w = spec.param(f"{base}_w")
+    if (h is None) != (w is None):
+        raise ValueError(
+            f"layer {spec.name!r}: {base}_h and {base}_w must be given together"
+        )
+    if h is not None:
+        return int(h), int(w)
+    size = spec.param(base if base != "kernel" else "kernel_size", default)
+    if size is None:
+        raise ValueError(f"layer {spec.name!r}: missing {base} size")
+    return int(size), int(size)
+
+
+@register_layer("Convolution")
+class ConvolutionLayer(Layer):
+    """2-D convolution with optional bias.
+
+    Parameters (``convolution_param``): ``num_output``, ``kernel_size`` or
+    ``kernel_h``/``kernel_w``, ``stride`` (default 1), ``pad`` (default 0),
+    ``bias_term`` (default true), ``weight_filler``, ``bias_filler``,
+    ``group`` (default 1).
+    """
+
+    exact_num_bottom = 1
+    exact_num_top = 1
+
+    def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        spec = self.spec
+        self.num_output = int(spec.require("num_output"))
+        self.kernel_h, self.kernel_w = _pair(spec, "kernel")
+        self.stride_h, self.stride_w = _pair(spec, "stride", default=1)
+        self.pad_h, self.pad_w = _pair(spec, "pad", default=0)
+        self.group = int(spec.param("group", 1))
+        self.bias_term = bool(spec.param("bias_term", True))
+
+        if bottom[0].num_axes != 4:
+            raise ValueError(
+                f"layer {self.name!r}: convolution needs a 4-d bottom, got "
+                f"shape {bottom[0].shape}"
+            )
+        channels = bottom[0].shape[1]
+        if self.num_output % self.group or channels % self.group:
+            raise ValueError(
+                f"layer {self.name!r}: group {self.group} must divide both "
+                f"channels {channels} and num_output {self.num_output}"
+            )
+        self.channels = channels
+
+        weight_shape = (
+            self.num_output,
+            channels // self.group,
+            self.kernel_h,
+            self.kernel_w,
+        )
+        weights = Blob(weight_shape, name=f"{self.name}.weights")
+        rng = self._filler_rng()
+        fill(weights, _filler_spec(self.spec.param("weight_filler")), rng)
+        self.blobs = [weights]
+        if self.bias_term:
+            bias = Blob((self.num_output,), name=f"{self.name}.bias")
+            fill(bias, _filler_spec(self.spec.param("bias_filler")), rng)
+            self.blobs.append(bias)
+
+    def _filler_rng(self) -> np.random.Generator:
+        seed = int(self.spec.param("filler_seed", 0)) or abs(hash(self.name)) % (
+            2**31
+        )
+        return np.random.default_rng(seed)
+
+    def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        n, c, h, w = bottom[0].shape
+        if c != self.channels:
+            raise ValueError(
+                f"layer {self.name!r}: channel count changed from "
+                f"{self.channels} to {c}"
+            )
+        self.out_h = conv_out_size(h, self.kernel_h, self.pad_h, self.stride_h)
+        self.out_w = conv_out_size(w, self.kernel_w, self.pad_w, self.stride_w)
+        top[0].reshape((n, self.num_output, self.out_h, self.out_w))
+        self._col_shape = (
+            (c // self.group) * self.kernel_h * self.kernel_w,
+            self.out_h * self.out_w,
+        )
+
+    # ------------------------------------------------------------------
+    # chunk protocol: one iteration == one sample
+    # ------------------------------------------------------------------
+    def forward_space(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> int:
+        return bottom[0].shape[0]
+
+    def forward_chunk(
+        self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
+    ) -> None:
+        x = bottom[0].data
+        y = top[0].data
+        weights = self.blobs[0].data.reshape(self.num_output, -1)
+        col = np.empty(self._col_shape, dtype=DTYPE)
+        cg = self.channels // self.group
+        og = self.num_output // self.group
+        for s in range(lo, hi):
+            for g in range(self.group):
+                blaslib.im2col(
+                    x[s, g * cg : (g + 1) * cg],
+                    self.kernel_h, self.kernel_w,
+                    self.pad_h, self.pad_w,
+                    self.stride_h, self.stride_w,
+                    out=col,
+                )
+                out_plane = y[s, g * og : (g + 1) * og].reshape(og, -1)
+                blaslib.gemm(
+                    False, False, 1.0,
+                    weights[g * og : (g + 1) * og], col,
+                    0.0, out_plane,
+                )
+            if self.bias_term:
+                bias = self.blobs[1].data
+                y[s] += bias[:, None, None]
+        top[0].mark_host_data_dirty()
+
+    def backward_chunk(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+        lo: int,
+        hi: int,
+        param_grads: Sequence[np.ndarray],
+    ) -> None:
+        x = bottom[0].data
+        dy = top[0].diff
+        dx = bottom[0].diff if propagate_down[0] else None
+        weights = self.blobs[0].data.reshape(self.num_output, -1)
+        dweights = param_grads[0].reshape(self.num_output, -1)
+        dbias = param_grads[1] if self.bias_term else None
+
+        col = np.empty(self._col_shape, dtype=DTYPE)
+        dcol = np.empty(self._col_shape, dtype=DTYPE)
+        cg = self.channels // self.group
+        og = self.num_output // self.group
+        _, _, in_h, in_w = bottom[0].shape
+
+        for s in range(lo, hi):
+            dy_s = dy[s].reshape(self.num_output, -1)
+            if dbias is not None:
+                dbias += dy_s.sum(axis=1)
+            for g in range(self.group):
+                dy_g = dy_s[g * og : (g + 1) * og]
+                blaslib.im2col(
+                    x[s, g * cg : (g + 1) * cg],
+                    self.kernel_h, self.kernel_w,
+                    self.pad_h, self.pad_w,
+                    self.stride_h, self.stride_w,
+                    out=col,
+                )
+                # dW_g += dY_g @ col^T
+                blaslib.gemm(
+                    False, True, 1.0, dy_g, col, 1.0,
+                    dweights[g * og : (g + 1) * og],
+                )
+                if dx is not None:
+                    # dcol = W_g^T @ dY_g, then fold back onto the image.
+                    blaslib.gemm(
+                        True, False, 1.0,
+                        weights[g * og : (g + 1) * og], dy_g,
+                        0.0, dcol,
+                    )
+                    blaslib.col2im(
+                        dcol, cg, in_h, in_w,
+                        self.kernel_h, self.kernel_w,
+                        self.pad_h, self.pad_w,
+                        self.stride_h, self.stride_w,
+                        out=dx[s, g * cg : (g + 1) * cg],
+                    )
+        if dx is not None:
+            bottom[0].mark_host_diff_dirty()
+
+
+def _filler_spec(raw) -> FillerSpec:
+    """Build a :class:`FillerSpec` from a parsed ``weight_filler`` block."""
+    if raw is None:
+        return FillerSpec(type="constant", value=0.0)
+    if isinstance(raw, FillerSpec):
+        return raw
+    if isinstance(raw, dict):
+        known = {k: v for k, v in raw.items()
+                 if k in ("type", "value", "min", "max", "mean", "std",
+                          "variance_norm")}
+        return FillerSpec(**known)
+    raise TypeError(f"cannot interpret filler spec {raw!r}")

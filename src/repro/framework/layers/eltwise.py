@@ -1,0 +1,102 @@
+"""Eltwise layer: element-wise SUM / PROD / MAX over several bottoms."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.framework.blob import Blob
+from repro.framework.layer import Layer, register_layer
+
+
+@register_layer("Eltwise")
+class EltwiseLayer(Layer):
+    """Element-wise combination of equally shaped bottoms.
+
+    Parameters (``eltwise_param``): ``operation`` (``SUM`` default,
+    ``PROD`` or ``MAX``) and, for SUM, per-bottom ``coeff`` values
+    (default 1.0 each).
+    """
+
+    min_num_bottom = 2
+    exact_num_top = 1
+
+    def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        op = str(self.spec.param("operation", "SUM")).upper()
+        if op not in ("SUM", "PROD", "MAX"):
+            raise ValueError(f"layer {self.name!r}: unknown operation {op!r}")
+        self.operation = op
+        coeff = self.spec.param("coeff")
+        if coeff is None:
+            self.coeffs = [1.0] * len(bottom)
+        else:
+            coeffs = coeff if isinstance(coeff, list) else [coeff]
+            if len(coeffs) != len(bottom):
+                raise ValueError(
+                    f"layer {self.name!r}: {len(coeffs)} coeffs for "
+                    f"{len(bottom)} bottoms"
+                )
+            if op != "SUM":
+                raise ValueError(
+                    f"layer {self.name!r}: coeff only applies to SUM"
+                )
+            self.coeffs = [float(c) for c in coeffs]
+
+    def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        for b in bottom[1:]:
+            if b.shape != bottom[0].shape:
+                raise ValueError(
+                    f"layer {self.name!r}: bottoms disagree in shape "
+                    f"({b.shape} vs {bottom[0].shape})"
+                )
+        top[0].reshape_like(bottom[0])
+        if self.operation == "MAX":
+            self._argmax = np.zeros(bottom[0].count, dtype=np.int32)
+
+    def forward_space(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> int:
+        return bottom[0].count
+
+    def forward_chunk(
+        self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
+    ) -> None:
+        y = top[0].flat_data[lo:hi]
+        if self.operation == "SUM":
+            np.multiply(bottom[0].flat_data[lo:hi], self.coeffs[0], out=y)
+            for b, c in zip(bottom[1:], self.coeffs[1:]):
+                y += c * b.flat_data[lo:hi]
+        elif self.operation == "PROD":
+            np.copyto(y, bottom[0].flat_data[lo:hi])
+            for b in bottom[1:]:
+                y *= b.flat_data[lo:hi]
+        else:  # MAX
+            stacked = np.stack([b.flat_data[lo:hi] for b in bottom])
+            arg = stacked.argmax(axis=0)
+            self._argmax[lo:hi] = arg
+            np.copyto(y, np.take_along_axis(stacked, arg[None], axis=0)[0])
+        top[0].mark_host_data_dirty()
+
+    def backward_chunk(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+        lo: int,
+        hi: int,
+        param_grads: Sequence[np.ndarray],
+    ) -> None:
+        dy = top[0].flat_diff[lo:hi]
+        for i, (b, prop) in enumerate(zip(bottom, propagate_down)):
+            if not prop:
+                continue
+            dx = b.flat_diff[lo:hi]
+            if self.operation == "SUM":
+                np.multiply(dy, self.coeffs[i], out=dx)
+            elif self.operation == "PROD":
+                np.copyto(dx, dy)
+                for j, other in enumerate(bottom):
+                    if j != i:
+                        dx *= other.flat_data[lo:hi]
+            else:  # MAX: route to the winner only
+                np.multiply(dy, self._argmax[lo:hi] == i, out=dx)
+            b.mark_host_diff_dirty()

@@ -1,0 +1,56 @@
+"""Flatten layer: collapses all axes after the batch axis."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.framework.blob import Blob
+from repro.framework.layer import Layer, register_layer
+
+
+@register_layer("Flatten")
+class FlattenLayer(Layer):
+    """Reshape ``(N, d1, d2, ...)`` to ``(N, d1*d2*...)``.
+
+    Parameters: ``axis`` (default 1) — axes from ``axis`` on are
+    collapsed.  Pure data movement; the coalesced space is the flat
+    element range.
+    """
+
+    exact_num_bottom = 1
+    exact_num_top = 1
+
+    def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        self.axis = bottom[0].canonical_axis(int(self.spec.param("axis", 1)))
+
+    def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        shape = bottom[0].shape
+        flattened = 1
+        for dim in shape[self.axis :]:
+            flattened *= dim
+        top[0].reshape(tuple(shape[: self.axis]) + (flattened,))
+
+    def forward_space(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> int:
+        return bottom[0].count
+
+    def forward_chunk(
+        self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
+    ) -> None:
+        np.copyto(top[0].flat_data[lo:hi], bottom[0].flat_data[lo:hi])
+        top[0].mark_host_data_dirty()
+
+    def backward_chunk(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+        lo: int,
+        hi: int,
+        param_grads: Sequence[np.ndarray],
+    ) -> None:
+        if not propagate_down[0]:
+            return
+        np.copyto(bottom[0].flat_diff[lo:hi], top[0].flat_diff[lo:hi])
+        bottom[0].mark_host_diff_dirty()

@@ -1,0 +1,200 @@
+"""Scale and Bias layers: learned per-channel affine transforms.
+
+``Scale``: ``y[n,c,...] = gamma[c] * x[n,c,...] (+ beta[c])``;
+``Bias``: the additive half alone.  These are the building blocks Caffe
+pairs with BatchNorm.
+
+Their backward pass is a second demonstration of reduction-free
+coefficient gradients (besides InnerProduct): ``dgamma[c]`` sums over
+every sample and spatial position of channel ``c``, so the coefficient
+loop parallelizes over *channels* — each channel's sum is computed by
+one thread in a fixed order, bitwise independent of the chunking.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.framework.blob import DTYPE, Blob
+from repro.framework.fillers import fill
+from repro.framework.layer import Layer, LoopSpec, register_layer
+from repro.framework.layers.conv import _filler_spec
+
+
+class _ChannelAffineBase(Layer):
+    """Shared machinery: channel axis handling and loop decomposition."""
+
+    exact_num_bottom = 1
+    exact_num_top = 1
+
+    def _setup_geometry(self, bottom: Sequence[Blob]) -> None:
+        self.axis = bottom[0].canonical_axis(int(self.spec.param("axis", 1)))
+        self.channels = bottom[0].shape[self.axis]
+        self.outer = 1
+        for dim in bottom[0].shape[: self.axis]:
+            self.outer *= dim
+        self.inner = 1
+        for dim in bottom[0].shape[self.axis + 1:]:
+            self.inner *= dim
+
+    def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        if bottom[0].shape[self.axis] != self.channels:
+            raise ValueError(
+                f"layer {self.name!r}: channel extent changed from "
+                f"{self.channels} to {bottom[0].shape[self.axis]}"
+            )
+        if top[0] is not bottom[0]:
+            top[0].reshape_like(bottom[0])
+
+    def _view(self, flat: np.ndarray) -> np.ndarray:
+        return flat.reshape(self.outer, self.channels, self.inner)
+
+    def forward_space(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> int:
+        return self.outer
+
+
+@register_layer("Scale")
+class ScaleLayer(_ChannelAffineBase):
+    """Per-channel scaling with optional bias.
+
+    Parameters (``scale_param``): ``axis`` (default 1), ``bias_term``
+    (default false), ``filler`` (default constant 1), ``bias_filler``.
+    """
+
+    def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        self._setup_geometry(bottom)
+        self.bias_term = bool(self.spec.param("bias_term", False))
+        rng = np.random.default_rng(
+            int(self.spec.param("filler_seed", 0))
+            or abs(hash(self.name)) % (2**31)
+        )
+        gamma = Blob((self.channels,), name=f"{self.name}.scale")
+        filler = self.spec.param("filler")
+        if filler is None:
+            gamma.flat_data.fill(1.0)
+        else:
+            fill(gamma, _filler_spec(filler), rng)
+        self.blobs = [gamma]
+        if self.bias_term:
+            beta = Blob((self.channels,), name=f"{self.name}.bias")
+            fill(beta, _filler_spec(self.spec.param("bias_filler")), rng)
+            self.blobs.append(beta)
+
+    def forward_chunk(
+        self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
+    ) -> None:
+        x = self._view(bottom[0].flat_data)[lo:hi]
+        y = self._view(top[0].flat_data)[lo:hi]
+        gamma = self.blobs[0].data[None, :, None]
+        np.multiply(x, gamma, out=y)
+        if self.bias_term:
+            y += self.blobs[1].data[None, :, None]
+        top[0].mark_host_data_dirty()
+
+    def _backward_data_chunk(self, top, bottom, lo: int, hi: int) -> None:
+        dy = self._view(top[0].flat_diff)[lo:hi]
+        dx = self._view(bottom[0].flat_diff)[lo:hi]
+        np.multiply(dy, self.blobs[0].data[None, :, None], out=dx)
+        bottom[0].mark_host_diff_dirty()
+
+    def _backward_param_channels(self, top, bottom, lo: int, hi: int) -> None:
+        """Coefficient gradients for channels [lo, hi): full reductions
+        over (outer, inner) per channel, chunking-invariant."""
+        x = self._view(bottom[0].flat_data)
+        dy = self._view(top[0].flat_diff)
+        dgamma = self.blobs[0].flat_diff
+        dbeta = self.blobs[1].flat_diff if self.bias_term else None
+        for c in range(lo, hi):
+            dgamma[c] += float(
+                np.dot(dy[:, c].ravel().astype(np.float64),
+                       x[:, c].ravel().astype(np.float64))
+            )
+            if dbeta is not None:
+                dbeta[c] += dy[:, c].sum(dtype=np.float64)
+        self.blobs[0].mark_host_diff_dirty()
+        if dbeta is not None:
+            self.blobs[1].mark_host_diff_dirty()
+
+    def backward_chunk(self, top, propagate_down, bottom, lo, hi,
+                       param_grads) -> None:
+        # Generic per-sample path (used when called directly).
+        x = self._view(bottom[0].flat_data)[lo:hi]
+        dy = self._view(top[0].flat_diff)[lo:hi]
+        param_grads[0] += (dy * x).sum(axis=(0, 2))
+        if self.bias_term:
+            param_grads[1] += dy.sum(axis=(0, 2))
+        if propagate_down[0]:
+            self._backward_data_chunk(top, bottom, lo, hi)
+
+    def backward_loops(self, top, propagate_down, bottom):
+        loops = []
+        if propagate_down[0]:
+            loops.append(LoopSpec(
+                space=self.outer,
+                body=lambda lo, hi, grads: self._backward_data_chunk(
+                    top, bottom, lo, hi),
+            ))
+        loops.append(LoopSpec(
+            space=self.channels,
+            body=lambda lo, hi, grads: self._backward_param_channels(
+                top, bottom, lo, hi),
+        ))
+        return loops
+
+
+@register_layer("Bias")
+class BiasLayer(_ChannelAffineBase):
+    """Per-channel additive bias (the Scale layer's additive half)."""
+
+    def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        self._setup_geometry(bottom)
+        rng = np.random.default_rng(
+            int(self.spec.param("filler_seed", 0))
+            or abs(hash(self.name)) % (2**31)
+        )
+        beta = Blob((self.channels,), name=f"{self.name}.bias")
+        fill(beta, _filler_spec(self.spec.param("filler")), rng)
+        self.blobs = [beta]
+
+    def forward_chunk(self, bottom, top, lo, hi) -> None:
+        x = self._view(bottom[0].flat_data)[lo:hi]
+        y = self._view(top[0].flat_data)[lo:hi]
+        np.add(x, self.blobs[0].data[None, :, None], out=y)
+        top[0].mark_host_data_dirty()
+
+    def _backward_param_channels(self, top, lo: int, hi: int) -> None:
+        dy = self._view(top[0].flat_diff)
+        dbeta = self.blobs[0].flat_diff
+        for c in range(lo, hi):
+            dbeta[c] += dy[:, c].sum(dtype=np.float64)
+        self.blobs[0].mark_host_diff_dirty()
+
+    def _backward_data_chunk(self, top, bottom, lo: int, hi: int) -> None:
+        if top[0] is not bottom[0]:
+            np.copyto(self._view(bottom[0].flat_diff)[lo:hi],
+                      self._view(top[0].flat_diff)[lo:hi])
+            bottom[0].mark_host_diff_dirty()
+
+    def backward_chunk(self, top, propagate_down, bottom, lo, hi,
+                       param_grads) -> None:
+        dy = self._view(top[0].flat_diff)[lo:hi]
+        param_grads[0] += dy.sum(axis=(0, 2))
+        if propagate_down[0]:
+            self._backward_data_chunk(top, bottom, lo, hi)
+
+    def backward_loops(self, top, propagate_down, bottom):
+        loops = []
+        if propagate_down[0]:
+            loops.append(LoopSpec(
+                space=self.outer,
+                body=lambda lo, hi, grads: self._backward_data_chunk(
+                    top, bottom, lo, hi),
+            ))
+        loops.append(LoopSpec(
+            space=self.channels,
+            body=lambda lo, hi, grads: self._backward_param_channels(
+                top, lo, hi),
+        ))
+        return loops

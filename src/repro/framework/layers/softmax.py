@@ -1,0 +1,72 @@
+"""Softmax layer (probabilities along the channel axis)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.framework.blob import Blob
+from repro.framework.layer import Layer, register_layer
+
+
+@register_layer("Softmax")
+class SoftmaxLayer(Layer):
+    """Channel-wise softmax: ``y = exp(x - max) / sum(exp(x - max))``.
+
+    The coalesced iteration space is the outer extent (everything before
+    the softmax axis, conventionally the batch): one iteration normalizes
+    one sample's class scores.
+    """
+
+    exact_num_bottom = 1
+    exact_num_top = 1
+
+    def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        self.axis = bottom[0].canonical_axis(int(self.spec.param("axis", 1)))
+
+    def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        if top[0] is not bottom[0]:
+            top[0].reshape_like(bottom[0])
+        shape = bottom[0].shape
+        self.outer = int(np.prod(shape[: self.axis])) if self.axis else 1
+        self.classes = shape[self.axis]
+        self.inner = (
+            int(np.prod(shape[self.axis + 1 :]))
+            if self.axis + 1 < len(shape) else 1
+        )
+
+    def forward_space(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> int:
+        return self.outer
+
+    def _view(self, flat: np.ndarray) -> np.ndarray:
+        return flat.reshape(self.outer, self.classes, self.inner)
+
+    def forward_chunk(
+        self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
+    ) -> None:
+        x = self._view(bottom[0].flat_data)[lo:hi]
+        y = self._view(top[0].flat_data)[lo:hi]
+        shifted = x - x.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        np.divide(exp, exp.sum(axis=1, keepdims=True), out=y)
+        top[0].mark_host_data_dirty()
+
+    def backward_chunk(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+        lo: int,
+        hi: int,
+        param_grads: Sequence[np.ndarray],
+    ) -> None:
+        if not propagate_down[0]:
+            return
+        y = self._view(top[0].flat_data)[lo:hi]
+        dy = self._view(top[0].flat_diff)[lo:hi]
+        dx = self._view(bottom[0].flat_diff)[lo:hi]
+        # dx = y * (dy - sum(dy * y, axis=classes))
+        dot = (dy * y).sum(axis=1, keepdims=True)
+        np.copyto(dx, y * (dy - dot))
+        bottom[0].mark_host_diff_dirty()

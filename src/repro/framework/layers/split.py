@@ -1,0 +1,54 @@
+"""Split layer: fans one blob out to several consumers.
+
+The net inserts these automatically whenever a blob is consumed by more
+than one layer, exactly as Caffe does: the forward pass copies the bottom
+into every top, and the backward pass *sums* the top diffs into the bottom
+diff — the reason a shared blob's gradient is well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.framework.blob import Blob
+from repro.framework.layer import Layer, register_layer
+
+
+@register_layer("Split")
+class SplitLayer(Layer):
+    exact_num_bottom = 1
+    min_num_top = 1
+
+    def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
+        for t in top:
+            t.reshape_like(bottom[0])
+
+    def forward_space(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> int:
+        return bottom[0].count
+
+    def forward_chunk(
+        self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
+    ) -> None:
+        src = bottom[0].flat_data[lo:hi]
+        for t in top:
+            np.copyto(t.flat_data[lo:hi], src)
+            t.mark_host_data_dirty()
+
+    def backward_chunk(
+        self,
+        top: Sequence[Blob],
+        propagate_down: Sequence[bool],
+        bottom: Sequence[Blob],
+        lo: int,
+        hi: int,
+        param_grads: Sequence[np.ndarray],
+    ) -> None:
+        if not propagate_down[0]:
+            return
+        dst = bottom[0].flat_diff[lo:hi]
+        np.copyto(dst, top[0].flat_diff[lo:hi])
+        for t in top[1:]:
+            dst += t.flat_diff[lo:hi]
+        bottom[0].mark_host_diff_dirty()

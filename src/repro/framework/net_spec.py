@@ -1,0 +1,91 @@
+"""Declarative network specification objects.
+
+A :class:`NetSpec` is the in-memory form of a parsed prototxt network
+definition: an ordered list of :class:`LayerSpec` entries, each naming the
+layer type, its bottom/top blob names, phase restrictions and a free-form
+parameter dictionary (the ``*_param`` blocks of the prototxt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class BlobLrSpec:
+    """Per-parameter learning-rate / weight-decay multipliers (Caffe's
+    ``ParamSpec``: ``param { lr_mult: ... decay_mult: ... }``)."""
+
+    lr_mult: float = 1.0
+    decay_mult: float = 1.0
+
+
+@dataclass
+class LayerSpec:
+    """One layer entry of a network definition."""
+
+    name: str
+    type: str
+    bottoms: List[str] = field(default_factory=list)
+    tops: List[str] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+    phase: Optional[str] = None  # None = both phases, else "TRAIN" / "TEST"
+    param_specs: List[BlobLrSpec] = field(default_factory=list)
+    loss_weight: Optional[float] = None
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Look up a parameter with a default, e.g. ``spec.param("num_output")``."""
+        return self.params.get(key, default)
+
+    def require(self, key: str) -> Any:
+        if key not in self.params:
+            raise KeyError(
+                f"layer {self.name!r} (type {self.type}) is missing required "
+                f"parameter {key!r}"
+            )
+        return self.params[key]
+
+
+@dataclass
+class NetSpec:
+    """A full network definition."""
+
+    name: str = ""
+    layers: List[LayerSpec] = field(default_factory=list)
+    inputs: List[str] = field(default_factory=list)
+    input_shapes: List[Sequence[int]] = field(default_factory=list)
+
+    def layer(self, name: str) -> LayerSpec:
+        for spec in self.layers:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"network {self.name!r} has no layer named {name!r}")
+
+    def layers_for_phase(self, phase: str) -> List[LayerSpec]:
+        """Layers active in ``phase`` (``"TRAIN"`` or ``"TEST"``)."""
+        if phase not in ("TRAIN", "TEST"):
+            raise ValueError(f"phase must be TRAIN or TEST, got {phase!r}")
+        return [s for s in self.layers if s.phase in (None, phase)]
+
+    def validate(self) -> None:
+        """Check structural sanity: per-phase unique names, no dangling
+        bottoms.  A name may repeat across phases (Caffe's TRAIN/TEST data
+        layers conventionally share one)."""
+        for phase in ("TRAIN", "TEST"):
+            seen_names = set()
+            for spec in self.layers_for_phase(phase):
+                if spec.name in seen_names:
+                    raise ValueError(
+                        f"duplicate layer name {spec.name!r} in phase {phase}"
+                    )
+                seen_names.add(spec.name)
+            available = set(self.inputs)
+            for spec in self.layers_for_phase(phase):
+                for bottom in spec.bottoms:
+                    if bottom not in available:
+                        raise ValueError(
+                            f"layer {spec.name!r} consumes blob {bottom!r} "
+                            f"which no earlier layer produces (phase {phase})"
+                        )
+                available.update(spec.tops)

@@ -1,0 +1,227 @@
+"""Parser for the protobuf text format subset used by Caffe prototxt files.
+
+Caffe network definitions are protobuf text messages ("prototext", paper
+Section 2.1).  This module implements a small recursive-descent parser for
+the subset those files use:
+
+* scalar fields — ``key: value`` with string, number, boolean or enum
+  values;
+* message fields — ``key { ... }``;
+* repetition — a key appearing multiple times accumulates into a list.
+
+The generic parse produces nested dictionaries; :func:`parse_prototxt`
+then maps the conventional Caffe schema (``layer { ... }`` entries with
+``*_param`` blocks) onto :class:`~repro.framework.net_spec.NetSpec`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+from repro.framework.net_spec import BlobLrSpec, LayerSpec, NetSpec
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<brace>[{}])
+  | (?P<colon>:)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<number>[-+]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?)
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+class PrototxtError(ValueError):
+    """Raised on malformed prototxt input, with line information."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PrototxtError(
+                f"line {line}: unexpected character {text[pos]!r}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind not in ("space", "comment"):
+            tokens.append((kind, value, line))
+        line += value.count("\n")
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str, int]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Tuple[str, str, int] | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> Tuple[str, str, int]:
+        tok = self._peek()
+        if tok is None:
+            raise PrototxtError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def parse_message(self, stop_at_brace: bool) -> Dict[str, Any]:
+        """Parse fields until EOF or a closing brace."""
+        message: Dict[str, Any] = {}
+        while True:
+            tok = self._peek()
+            if tok is None:
+                if stop_at_brace:
+                    raise PrototxtError("unterminated message: missing '}'")
+                return message
+            kind, value, line = tok
+            if kind == "brace" and value == "}":
+                if not stop_at_brace:
+                    raise PrototxtError(f"line {line}: unmatched '}}'")
+                self._next()
+                return message
+            if kind != "ident":
+                raise PrototxtError(
+                    f"line {line}: expected a field name, got {value!r}"
+                )
+            self._next()
+            key = value
+            self._parse_field_value(message, key)
+
+    def _parse_field_value(self, message: Dict[str, Any], key: str) -> None:
+        tok = self._peek()
+        if tok is None:
+            raise PrototxtError(f"field {key!r}: unexpected end of input")
+        kind, value, line = tok
+        if kind == "colon":
+            self._next()
+            parsed = self._parse_scalar(key)
+        elif kind == "brace" and value == "{":
+            self._next()
+            parsed = self.parse_message(stop_at_brace=True)
+        else:
+            raise PrototxtError(
+                f"line {line}: field {key!r} must be followed by ':' or '{{'"
+            )
+        _accumulate(message, key, parsed)
+
+    def _parse_scalar(self, key: str) -> Any:
+        kind, value, line = self._next()
+        if kind == "string":
+            return _unescape(value[1:-1])
+        if kind == "number":
+            if re.fullmatch(r"[-+]?\d+", value):
+                return int(value)
+            return float(value)
+        if kind == "ident":
+            lowered = value.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            return value  # enum constant, e.g. MAX, TRAIN, LMDB
+        raise PrototxtError(
+            f"line {line}: field {key!r} has invalid value {value!r}"
+        )
+
+
+def _unescape(raw: str) -> str:
+    return raw.encode("utf-8").decode("unicode_escape")
+
+
+def _accumulate(message: Dict[str, Any], key: str, value: Any) -> None:
+    if key in message:
+        existing = message[key]
+        if isinstance(existing, list):
+            existing.append(value)
+        else:
+            message[key] = [existing, value]
+    else:
+        message[key] = value
+
+
+def parse_text(text: str) -> Dict[str, Any]:
+    """Parse protobuf text format into nested dictionaries."""
+    return _Parser(_tokenize(text)).parse_message(stop_at_brace=False)
+
+
+def _as_list(value: Any) -> List[Any]:
+    if value is None:
+        return []
+    return value if isinstance(value, list) else [value]
+
+
+_PARAM_SUFFIX = "_param"
+
+
+def _layer_spec_from_message(msg: Dict[str, Any]) -> LayerSpec:
+    name = msg.get("name")
+    if not name:
+        raise PrototxtError("layer block is missing 'name'")
+    type_name = msg.get("type")
+    if not type_name:
+        raise PrototxtError(f"layer {name!r} is missing 'type'")
+
+    params: Dict[str, Any] = {}
+    for key, value in msg.items():
+        if key.endswith(_PARAM_SUFFIX) and isinstance(value, dict):
+            params.update(value)
+
+    phase = None
+    include = msg.get("include")
+    if include is not None:
+        phases = [blk.get("phase") for blk in _as_list(include) if isinstance(blk, dict)]
+        phases = [p for p in phases if p]
+        if len(phases) == 1:
+            phase = str(phases[0]).upper()
+        elif len(phases) > 1:
+            raise PrototxtError(
+                f"layer {name!r}: multiple include phases are not supported"
+            )
+
+    param_specs = []
+    for blk in _as_list(msg.get("param")):
+        if isinstance(blk, dict):
+            param_specs.append(
+                BlobLrSpec(
+                    lr_mult=float(blk.get("lr_mult", 1.0)),
+                    decay_mult=float(blk.get("decay_mult", 1.0)),
+                )
+            )
+
+    loss_weight = msg.get("loss_weight")
+    return LayerSpec(
+        name=str(name),
+        type=str(type_name),
+        bottoms=[str(b) for b in _as_list(msg.get("bottom"))],
+        tops=[str(t) for t in _as_list(msg.get("top"))],
+        params=params,
+        phase=phase,
+        param_specs=param_specs,
+        loss_weight=float(loss_weight) if loss_weight is not None else None,
+    )
+
+
+def parse_prototxt(text: str) -> NetSpec:
+    """Parse a Caffe network prototxt into a :class:`NetSpec`."""
+    root = parse_text(text)
+    spec = NetSpec(name=str(root.get("name", "")))
+    for msg in _as_list(root.get("layer")):
+        if not isinstance(msg, dict):
+            raise PrototxtError("'layer' fields must be message blocks")
+        spec.layers.append(_layer_spec_from_message(msg))
+    for input_name in _as_list(root.get("input")):
+        spec.inputs.append(str(input_name))
+    for shape_blk in _as_list(root.get("input_shape")):
+        if isinstance(shape_blk, dict):
+            spec.input_shapes.append([int(d) for d in _as_list(shape_blk.get("dim"))])
+    spec.validate()
+    return spec

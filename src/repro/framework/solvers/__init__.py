@@ -1,0 +1,38 @@
+"""Training solvers: SGD (with momentum), AdaGrad, Nesterov.
+
+These implement Caffe's ``Solver`` hierarchy — the ``updateCoefficients``
+step of the paper's Algorithm 1 — including learning-rate policies,
+weight decay, gradient normalization by ``iter_size`` and parameter-wise
+learning-rate multipliers.
+"""
+
+from repro.framework.solvers.base import Solver, SolverParams
+from repro.framework.solvers.sgd import SGDSolver
+from repro.framework.solvers.adagrad import AdaGradSolver
+from repro.framework.solvers.nesterov import NesterovSolver
+from repro.framework.solvers.lr_policy import learning_rate
+
+__all__ = [
+    "AdaGradSolver",
+    "NesterovSolver",
+    "SGDSolver",
+    "Solver",
+    "SolverParams",
+    "learning_rate",
+]
+
+
+def create_solver(params: "SolverParams", net, test_net=None):
+    """Instantiate the solver type named by ``params.type``."""
+    kind = params.type.lower()
+    table = {
+        "sgd": SGDSolver,
+        "adagrad": AdaGradSolver,
+        "nesterov": NesterovSolver,
+    }
+    if kind not in table:
+        raise ValueError(
+            f"unknown solver type {params.type!r}; expected one of "
+            f"{sorted(table)}"
+        )
+    return table[kind](params, net, test_net=test_net)

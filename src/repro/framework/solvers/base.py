@@ -1,0 +1,273 @@
+"""Solver base class: the training loop of the paper's Algorithm 1.
+
+The solver owns the outer ``while loss not acceptable`` loop: each step
+zeroes parameter diffs, runs forward+backward (possibly ``iter_size``
+times, accumulating), regularizes, computes the per-parameter update from
+the learning rate, and applies it.
+
+Execution of the forward/backward passes is delegated to a pluggable
+*executor* so the identical solver drives both the sequential and the
+coarse-grain parallel versions — the paper's convergence-invariance
+property is exactly the statement that swapping this executor does not
+change the trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.framework.blob import DTYPE
+from repro.framework.net import Net
+from repro.framework.solvers.lr_policy import learning_rate
+
+
+@dataclass
+class SolverParams:
+    """Solver hyper-parameters (Caffe's ``SolverParameter``)."""
+
+    type: str = "SGD"
+    base_lr: float = 0.01
+    lr_policy: str = "fixed"
+    gamma: float = 0.1
+    power: float = 0.75
+    stepsize: int = 100
+    stepvalues: Sequence[int] = field(default_factory=tuple)
+    max_iter: int = 100
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    regularization_type: str = "L2"
+    iter_size: int = 1
+    delta: float = 1e-8  # AdaGrad stabilizer
+    display: int = 0
+    test_interval: int = 0
+    test_iter: int = 1
+    clip_gradients: float = -1.0
+
+
+class SequentialExecutor:
+    """Default executor: plain sequential forward/backward."""
+
+    def forward(self, net: Net) -> float:
+        return net.forward()
+
+    def backward(self, net: Net) -> None:
+        net.backward()
+
+
+class Solver:
+    """Base solver; subclasses implement :meth:`compute_update_value`.
+
+    Parameters
+    ----------
+    params:
+        Hyper-parameters.
+    net:
+        Training-phase network.
+    test_net:
+        Optional test-phase network sharing parameters with ``net``
+        (hook it up via :meth:`share_test_net_params`).
+    executor:
+        Object with ``forward(net)`` / ``backward(net)``; defaults to
+        sequential execution.
+    """
+
+    def __init__(
+        self,
+        params: SolverParams,
+        net: Net,
+        test_net: Optional[Net] = None,
+        executor=None,
+    ) -> None:
+        if params.iter_size < 1:
+            raise ValueError(f"iter_size must be >= 1, got {params.iter_size}")
+        self.params = params
+        self.net = net
+        self.test_net = test_net
+        self.executor = executor or SequentialExecutor()
+        self.iteration = 0
+        self.loss_history: List[float] = []
+        #: Per-parameter solver state (e.g. momentum buffers).
+        self.history: List[np.ndarray] = [
+            np.zeros(blob.count, dtype=DTYPE) for blob in net.learnable_params
+        ]
+        self._display_fn: Callable[[str], None] = lambda message: None
+
+    def set_display(self, fn: Callable[[str], None]) -> None:
+        """Install a logging callback used when ``params.display`` > 0."""
+        self._display_fn = fn
+
+    # ------------------------------------------------------------------
+    # the training loop
+    # ------------------------------------------------------------------
+    def current_lr(self) -> float:
+        p = self.params
+        return learning_rate(
+            p.lr_policy, p.base_lr, self.iteration,
+            gamma=p.gamma, power=p.power, stepsize=p.stepsize,
+            stepvalues=p.stepvalues, max_iter=p.max_iter,
+        )
+
+    def step(self, iters: int) -> float:
+        """Run ``iters`` training iterations; returns the last loss."""
+        last_loss = 0.0
+        for _ in range(iters):
+            if (
+                self.test_net is not None
+                and self.params.test_interval > 0
+                and self.iteration % self.params.test_interval == 0
+            ):
+                self.test()
+            self.net.clear_param_diffs()
+            loss = 0.0
+            for _ in range(self.params.iter_size):
+                loss += self.executor.forward(self.net)
+                self.executor.backward(self.net)
+            loss /= self.params.iter_size
+            self.apply_update()
+            self.loss_history.append(loss)
+            last_loss = loss
+            if self.params.display and self.iteration % self.params.display == 0:
+                self._display_fn(
+                    f"iteration {self.iteration}, lr {self.current_lr():.6g}, "
+                    f"loss {loss:.6f}"
+                )
+            self.iteration += 1
+        return last_loss
+
+    def solve(self) -> float:
+        """Train to ``params.max_iter``."""
+        return self.step(self.params.max_iter - self.iteration)
+
+    def test(self) -> float:
+        """Average the test net's loss/accuracy outputs over test_iter
+        batches; returns the mean scalar of the first output."""
+        assert self.test_net is not None
+        scores: List[float] = []
+        for _ in range(self.params.test_iter):
+            self.executor.forward(self.test_net)
+            for layer, tops in zip(self.test_net.layers, self.test_net.tops):
+                if layer.type == "Accuracy":
+                    scores.append(float(tops[0].flat_data[0]))
+        return float(np.mean(scores)) if scores else 0.0
+
+    # ------------------------------------------------------------------
+    # the update (Caffe's ApplyUpdate pipeline)
+    # ------------------------------------------------------------------
+    def apply_update(self) -> None:
+        rate = self.current_lr()
+        self._normalize()
+        self._regularize()
+        self._clip_gradients()
+        for param_id in range(len(self.net.learnable_params)):
+            self.compute_update_value(param_id, rate)
+        for blob in self.net.learnable_params:
+            blob.update()
+
+    def _normalize(self) -> None:
+        if self.params.iter_size == 1:
+            return
+        scale = DTYPE(1.0 / self.params.iter_size)
+        for blob in self.net.learnable_params:
+            blob.scale_diff(scale)
+
+    def _regularize(self) -> None:
+        decay = self.params.weight_decay
+        if not decay:
+            return
+        reg = self.params.regularization_type
+        for blob, mult in zip(self.net.learnable_params, self.net.params_decay):
+            local = DTYPE(decay * mult)
+            if not local:
+                continue
+            if reg == "L2":
+                diff = blob.flat_diff
+                diff += local * blob.flat_data
+            elif reg == "L1":
+                diff = blob.flat_diff
+                diff += local * np.sign(blob.flat_data)
+            else:
+                raise ValueError(f"unknown regularization type {reg!r}")
+
+    def _clip_gradients(self) -> None:
+        threshold = self.params.clip_gradients
+        if threshold <= 0:
+            return
+        sumsq = sum(blob.sumsq_diff() for blob in self.net.learnable_params)
+        norm = float(np.sqrt(sumsq))
+        if norm > threshold:
+            scale = DTYPE(threshold / norm)
+            for blob in self.net.learnable_params:
+                blob.scale_diff(scale)
+
+    def compute_update_value(self, param_id: int, rate: float) -> None:
+        """Transform ``diff`` into the actual step for parameter
+        ``param_id`` (subclass responsibility)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # full-state snapshots (weights + solver history + iteration)
+    # ------------------------------------------------------------------
+    def save_state(self, path: str) -> None:
+        """Serialize everything a resume needs: network parameters, the
+        per-parameter solver history (momentum / accumulated squares) and
+        the iteration counter (Caffe's ``.solverstate``)."""
+        import numpy as np
+
+        payload = {"__iteration__": np.array(self.iteration)}
+        for layer_name, arrays in self.net.state_dict().items():
+            for i, arr in enumerate(arrays):
+                payload[f"param::{layer_name}::{i}"] = arr
+        for i, history in enumerate(self.history):
+            payload[f"history::{i}"] = history
+        np.savez(path, **payload)
+
+    def load_state(self, path: str) -> None:
+        """Restore a :meth:`save_state` snapshot into this solver."""
+        import numpy as np
+
+        with np.load(path) as archive:
+            self.iteration = int(archive["__iteration__"])
+            state: dict = {}
+            for key in archive.files:
+                if key.startswith("param::"):
+                    _, layer_name, index = key.split("::")
+                    state.setdefault(layer_name, []).append(
+                        (int(index), archive[key])
+                    )
+                elif key.startswith("history::"):
+                    index = int(key.split("::")[1])
+                    if index >= len(self.history):
+                        raise ValueError(
+                            f"snapshot has history slot {index} but the "
+                            f"solver only has {len(self.history)}"
+                        )
+                    self.history[index][:] = archive[key]
+            self.net.load_state_dict({
+                name: [arr for _, arr in sorted(pairs)]
+                for name, pairs in state.items()
+            })
+
+    # ------------------------------------------------------------------
+    # test-net parameter sharing
+    # ------------------------------------------------------------------
+    def share_test_net_params(self) -> None:
+        """Point the test net's parameter blobs at the training net's.
+
+        Layers are matched by name; mismatched names are left untouched
+        (e.g. phase-specific data layers).
+        """
+        assert self.test_net is not None
+        train_layers = dict(zip(self.net.layer_names, self.net.layers))
+        for layer in self.test_net.layers:
+            source = train_layers.get(layer.name)
+            if source is None or not source.blobs:
+                continue
+            if len(source.blobs) != len(layer.blobs):
+                raise ValueError(
+                    f"layer {layer.name!r}: train/test parameter count "
+                    f"mismatch"
+                )
+            layer.blobs = source.blobs

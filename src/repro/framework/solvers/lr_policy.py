@@ -1,0 +1,57 @@
+"""Learning-rate policies (Caffe's ``GetLearningRate``)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def learning_rate(
+    policy: str,
+    base_lr: float,
+    iteration: int,
+    *,
+    gamma: float = 0.1,
+    power: float = 0.75,
+    stepsize: int = 1,
+    stepvalues: Sequence[int] = (),
+    max_iter: int = 1,
+) -> float:
+    """Learning rate at ``iteration`` under ``policy``.
+
+    Policies (identical formulas to Caffe):
+
+    * ``fixed`` — ``base_lr``
+    * ``step`` — ``base_lr * gamma ^ floor(iter / stepsize)``
+    * ``exp`` — ``base_lr * gamma ^ iter``
+    * ``inv`` — ``base_lr * (1 + gamma * iter) ^ -power``
+    * ``multistep`` — like step, advancing at each value in ``stepvalues``
+    * ``poly`` — ``base_lr * (1 - iter / max_iter) ^ power``
+    * ``sigmoid`` — ``base_lr / (1 + exp(-gamma * (iter - stepsize)))``
+    """
+    if iteration < 0:
+        raise ValueError(f"iteration must be non-negative, got {iteration}")
+    if policy == "fixed":
+        return base_lr
+    if policy == "step":
+        if stepsize <= 0:
+            raise ValueError(f"step policy needs stepsize > 0, got {stepsize}")
+        return base_lr * gamma ** (iteration // stepsize)
+    if policy == "exp":
+        return base_lr * gamma ** iteration
+    if policy == "inv":
+        return base_lr * (1.0 + gamma * iteration) ** (-power)
+    if policy == "multistep":
+        step = 0
+        for value in stepvalues:
+            if iteration >= value:
+                step += 1
+        return base_lr * gamma ** step
+    if policy == "poly":
+        if max_iter <= 0:
+            raise ValueError(f"poly policy needs max_iter > 0, got {max_iter}")
+        frac = min(iteration / max_iter, 1.0)
+        return base_lr * (1.0 - frac) ** power
+    if policy == "sigmoid":
+        return base_lr / (1.0 + math.exp(-gamma * (iteration - stepsize)))
+    raise ValueError(f"unknown lr_policy {policy!r}")

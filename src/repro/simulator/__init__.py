@@ -1,0 +1,52 @@
+"""Analytic machine models for the paper's performance experiments.
+
+The evaluation container has one CPU core and no GPU, so the paper's
+16-core Xeon E5-2667v2 + NVIDIA K40 testbed is *simulated*: per-layer
+operation and byte counts are extracted from the real networks (the same
+``Net`` objects the functional runtime executes) and fed through roofline
+style machine models that reproduce the mechanisms Section 4 identifies —
+work granularity, static-schedule imbalance, inter-layer data-thread
+locality loss, NUMA crossing beyond 8 threads, the serial data layer, and
+ordered-reduction serialization.
+
+Modules:
+
+* :mod:`repro.simulator.params` — machine constants with provenance.
+* :mod:`repro.simulator.cost_model` — real-shape layer cost extraction.
+* :mod:`repro.simulator.cpu_model` — coarse-grain CPU time model
+  (Figures 4, 5, 7, 8 and the OpenMP bars of 6 and 9).
+* :mod:`repro.simulator.gpu_model` — fine-grain plain-GPU / cuDNN-GPU
+  model (the GPU bars and per-layer GPU speedups of Figures 6 and 9).
+* :mod:`repro.simulator.report` — table builders used by the benchmarks.
+"""
+
+from repro.simulator.cost_model import LayerCost, net_costs
+from repro.simulator.cpu_model import CPUModel
+from repro.simulator.gpu_model import GPUModel
+from repro.simulator.params import (
+    K40_CUDNN,
+    K40_PLAIN,
+    XEON_E5_2667V2,
+    CPUParams,
+    GPUParams,
+)
+from repro.simulator.report import (
+    layer_scalability_table,
+    layer_time_table,
+    overall_speedup_table,
+)
+
+__all__ = [
+    "CPUModel",
+    "CPUParams",
+    "GPUModel",
+    "GPUParams",
+    "K40_CUDNN",
+    "K40_PLAIN",
+    "LayerCost",
+    "XEON_E5_2667V2",
+    "layer_scalability_table",
+    "layer_time_table",
+    "net_costs",
+    "overall_speedup_table",
+]

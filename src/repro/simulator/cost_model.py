@@ -1,0 +1,269 @@
+"""Per-layer cost extraction from real networks.
+
+For every layer of a (already shaped) :class:`~repro.framework.net.Net`,
+this module computes the quantities the machine models consume: floating
+point operations, bytes streamed, the coalesced iteration space the
+coarse-grain runtime distributes, the data-thread *distribution
+signature* used by the locality model, and the privatized reduction
+volume of the backward pass.
+
+Everything is derived from the layer objects' real attributes (kernel
+sizes, blob shapes), so the models follow the actual networks — changing
+the prototxt changes the figures, as on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.framework.layers.conv import ConvolutionLayer
+from repro.framework.layers.data import DataLayer, InputLayer, MemoryDataLayer
+from repro.framework.layers.inner_product import InnerProductLayer
+from repro.framework.layers.loss import LossLayer
+from repro.framework.layers.lrn import LRNLayer
+from repro.framework.layers.neuron import NeuronLayer
+from repro.framework.layers.pooling import PoolingLayer
+from repro.framework.layers.softmax import SoftmaxLayer
+from repro.framework.layers.accuracy import AccuracyLayer
+from repro.framework.net import Net
+
+BYTES = 4  # single precision
+
+
+@dataclass
+class LayerCost:
+    """Work descriptor for one layer and one pass."""
+
+    name: str
+    type: str
+    pass_: str              # "forward" or "backward"
+    flops: float            # arithmetic operations
+    bytes: float            # streamed bytes (inputs + outputs once each)
+    space: int              # coalesced iterations available to the runtime
+    segments: int           # BLAS-call / segment count (dispatch overhead)
+    dist: str               # data-thread distribution signature
+    serial: bool = False    # executes sequentially (data layers)
+    reduction_bytes: float = 0.0  # privatized coefficient gradients
+    input_bytes: float = 0.0      # bytes read from the previous layer
+    variant: str = ""       # sub-type (e.g. pooling method MAX/AVE)
+    channels_in: int = 0    # input channels (convolution kernels)
+    plane_out: int = 0      # output cells per plane (pooling kernels)
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}.{'fwd' if self.pass_ == 'forward' else 'bwd'}"
+
+
+def _conv_costs(layer: ConvolutionLayer, bottom, top) -> List[LayerCost]:
+    n, c, h, w = bottom[0].shape
+    _, k, oh, ow = top[0].shape
+    kernel = layer.kernel_h * layer.kernel_w
+    macs = n * k * oh * ow * c * kernel / layer.group
+    fwd_flops = 2.0 * macs + n * k * oh * ow  # + bias add
+    col_bytes = n * (c * kernel * oh * ow) * BYTES  # im2col materialization
+    in_bytes = n * c * h * w * BYTES
+    out_bytes = n * k * oh * ow * BYTES
+    weight_bytes = layer.blobs[0].count * BYTES
+    fwd = LayerCost(
+        name=layer.name, type="Convolution", pass_="forward",
+        flops=fwd_flops, bytes=in_bytes + col_bytes + out_bytes + weight_bytes,
+        space=n, segments=n * layer.group, dist="sample",
+        input_bytes=in_bytes, channels_in=c, plane_out=oh * ow,
+    )
+    # backward: dW (gemm), dX (gemm + col2im) — ~2x forward arithmetic.
+    bwd_flops = 4.0 * macs + n * k * oh * ow
+    params_bytes = sum(b.count for b in layer.blobs) * BYTES
+    bwd = LayerCost(
+        name=layer.name, type="Convolution", pass_="backward",
+        flops=bwd_flops,
+        bytes=2 * col_bytes + in_bytes + out_bytes + 2 * weight_bytes,
+        space=n, segments=2 * n * layer.group, dist="sample",
+        reduction_bytes=params_bytes, input_bytes=out_bytes, channels_in=c,
+        plane_out=oh * ow,
+    )
+    return [fwd, bwd]
+
+
+def _pool_costs(layer: PoolingLayer, bottom, top) -> List[LayerCost]:
+    n, c, h, w = bottom[0].shape
+    _, _, oh, ow = top[0].shape
+    window = layer.kernel_h * layer.kernel_w
+    fwd_flops = n * c * oh * ow * window  # one compare/add per window elem
+    in_bytes = n * c * h * w * BYTES
+    out_bytes = n * c * oh * ow * BYTES
+    idx_bytes = out_bytes if layer.method == "MAX" else 0
+    fwd = LayerCost(
+        name=layer.name, type="Pooling", pass_="forward",
+        flops=fwd_flops, bytes=in_bytes + out_bytes + idx_bytes,
+        space=n * c, segments=n * c, dist="sample-channel",
+        input_bytes=in_bytes, variant=layer.method, plane_out=oh * ow,
+    )
+    bwd = LayerCost(
+        name=layer.name, type="Pooling", pass_="backward",
+        flops=n * c * oh * ow * (window if layer.method == "AVE" else 1),
+        bytes=in_bytes + out_bytes + idx_bytes,
+        space=n * c, segments=n * c, dist="sample-channel",
+        input_bytes=out_bytes, variant=layer.method, plane_out=oh * ow,
+    )
+    return [fwd, bwd]
+
+
+def _ip_costs(layer: InnerProductLayer, bottom, top) -> List[LayerCost]:
+    n = layer.outer
+    macs = n * layer.num_output * layer.inner
+    in_bytes = n * layer.inner * BYTES
+    out_bytes = n * layer.num_output * BYTES
+    weight_bytes = layer.blobs[0].count * BYTES
+    # Every sample's gemv re-reads the full weight matrix; large weights
+    # do not stay cache-resident, so the layer is weight-traffic bound —
+    # the mechanism behind the paper's ip1 plateau (Section 4.1.1).
+    refetch = min(n, 16)
+    fwd = LayerCost(
+        name=layer.name, type="InnerProduct", pass_="forward",
+        flops=2.0 * macs + out_bytes / BYTES,
+        bytes=in_bytes + out_bytes + weight_bytes * refetch,
+        space=n, segments=n, dist="sample", input_bytes=in_bytes,
+    )
+    # backward: dX over samples + dW over output rows (no reduction).
+    bwd = LayerCost(
+        name=layer.name, type="InnerProduct", pass_="backward",
+        flops=4.0 * macs,
+        bytes=2 * in_bytes + 2 * out_bytes + weight_bytes * refetch,
+        space=n, segments=n + layer.num_output, dist="sample",
+        input_bytes=out_bytes,
+    )
+    return [fwd, bwd]
+
+
+def _lrn_costs(layer: LRNLayer, bottom, top) -> List[LayerCost]:
+    n, c, h, w = bottom[0].shape
+    elems = n * c * h * w
+    # square, window prefix-sum, scale, power per element.
+    fwd = LayerCost(
+        name=layer.name, type="LRN", pass_="forward",
+        flops=6.0 * elems, bytes=3 * elems * BYTES,
+        space=n, segments=n, dist="sample",
+        input_bytes=elems * BYTES,
+    )
+    bwd = LayerCost(
+        name=layer.name, type="LRN", pass_="backward",
+        flops=8.0 * elems, bytes=5 * elems * BYTES,
+        space=n, segments=n, dist="sample",
+        input_bytes=elems * BYTES,
+    )
+    return [fwd, bwd]
+
+
+def _neuron_costs(layer: NeuronLayer, bottom, top) -> List[LayerCost]:
+    elems = bottom[0].count
+    batch = bottom[0].shape[0] if bottom[0].num_axes else 1
+    fwd = LayerCost(
+        name=layer.name, type=layer.type, pass_="forward",
+        flops=float(elems), bytes=2 * elems * BYTES,
+        space=elems, segments=max(batch, 1), dist="element",
+        input_bytes=elems * BYTES,
+    )
+    bwd = LayerCost(
+        name=layer.name, type=layer.type, pass_="backward",
+        flops=float(elems), bytes=3 * elems * BYTES,
+        space=elems, segments=max(batch, 1), dist="element",
+        input_bytes=elems * BYTES,
+    )
+    return [fwd, bwd]
+
+
+def _loss_costs(layer, bottom, top) -> List[LayerCost]:
+    n = bottom[0].shape[0]
+    classes = bottom[0].count // n
+    elems = n * classes
+    fwd = LayerCost(
+        name=layer.name, type=layer.type, pass_="forward",
+        flops=5.0 * elems, bytes=2 * elems * BYTES,
+        space=n, segments=n, dist="sample",
+        input_bytes=elems * BYTES,
+    )
+    bwd = LayerCost(
+        name=layer.name, type=layer.type, pass_="backward",
+        flops=2.0 * elems, bytes=2 * elems * BYTES,
+        space=n, segments=n, dist="sample",
+        input_bytes=elems * BYTES,
+    )
+    return [fwd, bwd]
+
+
+def _data_costs(layer, bottom, top) -> List[LayerCost]:
+    out_bytes = sum(t.count for t in top) * BYTES
+    fwd = LayerCost(
+        name=layer.name, type="Data", pass_="forward",
+        flops=float(out_bytes / BYTES), bytes=2 * out_bytes,
+        space=1, segments=1, dist="serial", serial=True,
+        input_bytes=0.0,
+    )
+    return [fwd]  # no backward
+
+
+def net_costs(net: Net, include_accuracy: bool = False) -> List[LayerCost]:
+    """Extract forward and backward costs for every layer of ``net``.
+
+    The net must have been shaped (run one forward pass first).  Costs
+    come back in network order, forward pass first per layer; the
+    backward entries appear for layers that participate in it.
+    """
+    out: List[LayerCost] = []
+    for i, layer in enumerate(net.layers):
+        bottom, top = net.bottoms[i], net.tops[i]
+        if isinstance(layer, (DataLayer, MemoryDataLayer, InputLayer)):
+            out.extend(_data_costs(layer, bottom, top))
+        elif isinstance(layer, ConvolutionLayer):
+            out.extend(_conv_costs(layer, bottom, top))
+        elif isinstance(layer, PoolingLayer):
+            out.extend(_pool_costs(layer, bottom, top))
+        elif isinstance(layer, InnerProductLayer):
+            out.extend(_ip_costs(layer, bottom, top))
+        elif isinstance(layer, LRNLayer):
+            out.extend(_lrn_costs(layer, bottom, top))
+        elif isinstance(layer, NeuronLayer):
+            out.extend(_neuron_costs(layer, bottom, top))
+        elif isinstance(layer, (LossLayer, SoftmaxLayer)):
+            out.extend(_loss_costs(layer, bottom, top))
+        elif isinstance(layer, AccuracyLayer):
+            if include_accuracy:
+                out.extend(_loss_costs(layer, bottom, top))
+        else:
+            # Structural layers (Split/Concat/Flatten/...): pure copies.
+            elems = sum(b.count for b in bottom)
+            out.append(LayerCost(
+                name=layer.name, type=layer.type, pass_="forward",
+                flops=0.0, bytes=2 * elems * BYTES,
+                space=max(elems, 1), segments=1, dist="element",
+                input_bytes=elems * BYTES,
+            ))
+            out.append(LayerCost(
+                name=layer.name, type=layer.type, pass_="backward",
+                flops=float(elems), bytes=2 * elems * BYTES,
+                space=max(elems, 1), segments=1, dist="element",
+                input_bytes=elems * BYTES,
+            ))
+    return out
+
+
+def producer_dist(costs: List[LayerCost], index: int) -> Optional[str]:
+    """Distribution signature of the layer feeding ``costs[index]``.
+
+    For a forward entry that is the previous layer's forward signature;
+    for a backward entry, the *downstream* layer's backward signature
+    (gradients flow backwards).  Returns None at the boundary.
+    """
+    cost = costs[index]
+    if cost.pass_ == "forward":
+        for j in range(index - 1, -1, -1):
+            if costs[j].pass_ == "forward" and costs[j].name != cost.name:
+                return costs[j].dist
+        return None
+    # Backward data flows from the *downstream* layer, which appears later
+    # in this (net-ordered) list.
+    for j in range(index + 1, len(costs)):
+        if costs[j].pass_ == "backward" and costs[j].name != cost.name:
+            return costs[j].dist
+    return None

@@ -1,0 +1,182 @@
+"""Coarse-grain CPU time model (the OpenMP bars of the paper's figures).
+
+For each layer pass and thread count ``T`` the model composes:
+
+* **compute** — arithmetic time ``flops / (op_rate x effective_cores)``
+  where ``op_rate`` is the BLAS gemm rate scaled by a per-layer-type
+  efficiency (scalar pooling compares are far from gemm throughput), and
+  ``effective_cores`` discounts second-socket cores by the NUMA compute
+  penalty (all operands live on node 0 — the paper's "sequential memory
+  allocation" limiter); static-schedule imbalance multiplies in as
+  ``ceil(space/T) / (space/T)``.
+* **memory** — a two-level roofline: per-thread working sets that fit in
+  cache stream at per-core cache bandwidth (scales with ``T`` — the
+  paper's ReLU reaching 13x), larger sets are bound by node-0 DRAM plus
+  QPI for remote threads (the paper's inner-product plateau).
+* **dispatch** — per-segment call overhead, divided over threads (the
+  granularity limiter for deep small layers).
+* **locality** — re-fetch of the input when the producer's data-thread
+  distribution differs from this layer's, growing with ``T`` and paid
+  over QPI beyond one socket (data->conv1, pool2->ip1, norm1->conv2).
+* **reduction** — serialized ordered merge of privatized coefficient
+  gradients (backward of layers with a true reduction).
+* **fork/join** — fixed parallel-region overhead.
+
+``layer_time(cost, 1)`` is the serial baseline (no parallel overheads).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.simulator.cost_model import LayerCost, producer_dist
+from repro.simulator.params import CPUParams, XEON_E5_2667V2
+
+
+def _dist_mismatch(producer: str, consumer: str) -> bool:
+    """Whether the producer's data-thread distribution forces re-fetches.
+
+    Under a static schedule, "sample", "sample-channel" and "element"
+    splits all hand a thread (roughly) the same contiguous slice of the
+    blob, so they are mutually compatible; only a *serial* producer (the
+    data layer) leaves the whole footprint on one core's caches/node —
+    the paper's data->conv1 effect.
+    """
+    return producer == "serial" and consumer != "serial"
+
+
+class CPUModel:
+    """Evaluate coarse-grain layer/network times on the modelled CPU."""
+
+    def __init__(self, params: CPUParams = XEON_E5_2667V2) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def op_rate(self, layer_type: str) -> float:
+        """Usable arithmetic throughput of one core for ``layer_type``."""
+        p = self.params
+        eff = p.op_efficiency.get(layer_type, p.default_op_efficiency)
+        return p.core_flops_per_us * eff
+
+    def effective_cores(self, threads: int) -> float:
+        """Compute capacity in node-0-equivalent cores."""
+        p = self.params
+        local = min(threads, p.cores_per_node)
+        remote = max(0, threads - p.cores_per_node)
+        return local + remote * (1.0 - p.numa_compute_penalty)
+
+    def dram_bandwidth(self, threads: int) -> float:
+        """DRAM bandwidth reachable when all data sits on node 0 (B/us)."""
+        p = self.params
+        local = min(threads, p.cores_per_node)
+        share = 0.0
+        for extra in range(local):
+            share += 1.0 / (1.0 + p.bw_saturation * extra)
+        local_bw = p.node_bw_bytes_per_us * min(
+            share * p.single_core_bw_share, 1.0
+        )
+        remote = max(0, threads - p.cores_per_node)
+        remote_bw = p.qpi_bw_bytes_per_us * min(remote / 4.0, 1.0)
+        return local_bw + remote_bw
+
+    def memory_time(self, nbytes: float, threads: int) -> float:
+        """Two-level memory roofline for ``nbytes`` of traffic."""
+        p = self.params
+        if nbytes <= 0:
+            return 0.0
+        per_thread = nbytes / threads
+        if per_thread <= p.cache_resident_bytes:
+            return nbytes / (p.cache_bw_bytes_per_us * threads)
+        return nbytes / self.dram_bandwidth(threads)
+
+    def _imbalance(self, space: int, threads: int) -> float:
+        """Static-schedule slowdown factor: busiest thread / ideal."""
+        if space <= 0:
+            return 1.0
+        threads = min(threads, space)
+        ideal = space / threads
+        busiest = math.ceil(space / threads)
+        return busiest / ideal
+
+    # ------------------------------------------------------------------
+    # per-layer time
+    # ------------------------------------------------------------------
+    def layer_time(
+        self,
+        cost: LayerCost,
+        threads: int,
+        producer: Optional[str] = None,
+    ) -> float:
+        """Modelled time (us) of one layer pass at ``threads`` threads."""
+        p = self.params
+        if threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
+        serial_compute = cost.flops / self.op_rate(cost.type)
+        serial_dispatch = cost.segments * p.dispatch_us
+        if cost.serial or threads == 1:
+            serial_mem = (
+                cost.bytes / p.serial_bw_bytes_per_us if cost.serial
+                else self.memory_time(cost.bytes, 1)
+            )
+            return max(serial_compute, serial_mem) + serial_dispatch
+
+        used = min(threads, max(cost.space, 1))
+        imbalance = self._imbalance(cost.space, threads)
+        cores = min(self.effective_cores(threads), used)
+        compute = serial_compute / cores * imbalance
+        mem = self.memory_time(cost.bytes, used)
+        dispatch = serial_dispatch / used * imbalance
+
+        locality = 0.0
+        if producer is not None and _dist_mismatch(producer, cost.dist):
+            miss = p.locality_miss * (1.0 - 1.0 / threads)
+            moved = cost.input_bytes * miss
+            if threads > p.cores_per_node:
+                locality = moved / p.qpi_bw_bytes_per_us
+            else:
+                locality = moved / self.dram_bandwidth(threads)
+
+        reduction = 0.0
+        if cost.reduction_bytes:
+            reduction = threads * cost.reduction_bytes / p.merge_bw_bytes_per_us
+
+        fork_join = p.fork_join_us * (1.0 + math.log2(threads))
+        return max(compute, mem) + dispatch + locality + reduction + fork_join
+
+    # ------------------------------------------------------------------
+    # whole-network evaluation
+    # ------------------------------------------------------------------
+    def layer_times(
+        self, costs: Sequence[LayerCost], threads: int
+    ) -> Dict[str, float]:
+        """Time of every layer pass, keyed ``"<layer>.fwd"`` / ``".bwd"``."""
+        costs = list(costs)
+        out: Dict[str, float] = {}
+        for index, cost in enumerate(costs):
+            out[cost.key] = self.layer_time(
+                cost, threads, producer_dist(costs, index)
+            )
+        return out
+
+    def iteration_time(self, costs: Sequence[LayerCost], threads: int) -> float:
+        """Total time of one training iteration (all passes summed —
+        the passes themselves are inherently sequential)."""
+        return sum(self.layer_times(costs, threads).values())
+
+    def speedup(self, costs: Sequence[LayerCost], threads: int) -> float:
+        return self.iteration_time(costs, 1) / self.iteration_time(costs, threads)
+
+    def layer_speedups(
+        self, costs: Sequence[LayerCost], threads: int
+    ) -> Dict[str, float]:
+        base = self.layer_times(costs, 1)
+        now = self.layer_times(costs, threads)
+        return {key: base[key] / now[key] for key in base}
+
+    def speedup_curve(
+        self, costs: Sequence[LayerCost], thread_counts: Sequence[int]
+    ) -> List[float]:
+        return [self.speedup(costs, t) for t in thread_counts]

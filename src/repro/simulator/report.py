@@ -1,0 +1,101 @@
+"""Table builders for the reproduction figures.
+
+Each function returns plain data (lists of rows) plus a ``format_table``
+helper for the benchmark harness to print — the same rows/series the
+paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simulator.cost_model import LayerCost
+from repro.simulator.cpu_model import CPUModel
+from repro.simulator.gpu_model import GPUModel
+
+THREAD_COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+def layer_time_table(
+    costs: Sequence[LayerCost],
+    model: CPUModel,
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+) -> Tuple[List[str], List[List[float]]]:
+    """Figures 4 / 7: absolute per-layer time (us) per thread count.
+
+    Returns ``(keys, rows)`` where ``keys`` are layer-pass labels and
+    ``rows[i]`` holds the times for ``thread_counts[i]``.
+    """
+    keys = [cost.key for cost in costs]
+    rows = []
+    for threads in thread_counts:
+        times = model.layer_times(costs, threads)
+        rows.append([times[key] for key in keys])
+    return keys, rows
+
+
+def relative_weights(
+    costs: Sequence[LayerCost], model: CPUModel, threads: int
+) -> Dict[str, float]:
+    """Share of the iteration time per layer pass at ``threads``."""
+    times = model.layer_times(costs, threads)
+    total = sum(times.values())
+    return {key: value / total for key, value in times.items()}
+
+
+def layer_scalability_table(
+    costs: Sequence[LayerCost],
+    model: CPUModel,
+    thread_counts: Sequence[int] = (2, 4, 8, 12, 16),
+) -> Tuple[List[str], List[List[float]]]:
+    """Figures 5 / 8: per-layer speedup over serial, per thread count."""
+    keys = [cost.key for cost in costs]
+    rows = []
+    for threads in thread_counts:
+        speedups = model.layer_speedups(costs, threads)
+        rows.append([speedups[key] for key in keys])
+    return keys, rows
+
+
+def overall_speedup_table(
+    costs: Sequence[LayerCost],
+    cpu: CPUModel,
+    plain_gpu: GPUModel,
+    cudnn_gpu: GPUModel,
+    thread_counts: Sequence[int] = (2, 4, 8, 12, 16),
+) -> Dict[str, float]:
+    """Figures 6 / 9 (left): overall speedups of every configuration."""
+    out: Dict[str, float] = {}
+    for threads in thread_counts:
+        out[f"OpenMP-{threads}T"] = cpu.speedup(costs, threads)
+    out["plain-GPU"] = plain_gpu.speedup(costs)
+    out["cuDNN-GPU"] = cudnn_gpu.speedup(costs)
+    return out
+
+
+def gpu_layer_speedup_table(
+    costs: Sequence[LayerCost],
+    plain_gpu: GPUModel,
+    cudnn_gpu: GPUModel,
+) -> Tuple[List[str], List[float], List[float]]:
+    """Figures 6 / 9 (right): per-layer GPU speedups, both versions."""
+    keys = [cost.key for cost in costs]
+    plain = plain_gpu.layer_speedups(costs)
+    cudnn = cudnn_gpu.layer_speedups(costs)
+    return keys, [plain[k] for k in keys], [cudnn[k] for k in keys]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], width: int = 12
+) -> str:
+    """Fixed-width text table for benchmark output."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}".rjust(width)
+        return str(value).rjust(width)
+
+    lines = ["".join(str(h).rjust(width) for h in headers)]
+    lines.append("-" * (width * len(headers)))
+    for row in rows:
+        lines.append("".join(fmt(v) for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Test utilities for downstream layer/net development.
+
+Exposed as library API (like Caffe's ``test/test_gradient_check_util``)
+so users writing new layers can build blobs and specs tersely and reuse
+the gradient checker.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.framework.blob import Blob
+from repro.framework.gradient_check import check_gradient  # noqa: F401
+from repro.framework.net_spec import LayerSpec
+
+__all__ = ["Blob", "check_gradient", "make_blob", "spec"]
+
+
+def make_blob(
+    shape: Sequence[int],
+    values=None,
+    name: str = "b",
+    rng: Optional[np.random.Generator] = None,
+) -> Blob:
+    """A blob with the given data (default: seeded standard-normal)."""
+    blob = Blob(shape, name=name)
+    if values is None:
+        rng = rng or np.random.default_rng(0)
+        values = rng.standard_normal(blob.count)
+    blob.set_data(np.asarray(values, dtype=np.float32).ravel())
+    return blob
+
+
+def spec(name: str, type_: str, **params) -> LayerSpec:
+    """Shorthand :class:`LayerSpec` builder."""
+    return LayerSpec(name=name, type=type_, bottoms=[], tops=[], params=params)

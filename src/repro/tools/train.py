@@ -1,0 +1,119 @@
+"""Train a network from the command line.
+
+Examples::
+
+    python -m repro.tools.train --net lenet --iters 60 --threads 4
+    python -m repro.tools.train --net cifar10 --reduction ordered \\
+        --schedule static,2 --snapshot weights.npz
+    python -m repro.tools.train --prototxt my_net.prototxt --iters 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import ParallelExecutor
+from repro.core.reduction import REDUCTION_MODES
+from repro.core.scheduling import make_schedule
+from repro.data import register_default_sources
+from repro.framework.net import Net
+from repro.framework.prototxt import parse_prototxt
+from repro.framework.solvers import SolverParams, create_solver
+from repro.zoo import build_solver
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.train",
+        description="Coarse-grain parallel DNN training (PPoPP'16 repro)",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--net", choices=("lenet", "cifar10"),
+                        help="zoo network")
+    source.add_argument("--prototxt", help="path to a network prototxt")
+    parser.add_argument("--iters", type=int, default=50,
+                        help="training iterations (default 50)")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="coarse-grain thread count (default 1)")
+    parser.add_argument("--reduction", choices=REDUCTION_MODES,
+                        default="ordered",
+                        help="gradient merge mode (default ordered)")
+    parser.add_argument("--schedule", default="static",
+                        help="loop schedule, e.g. static, static,4, "
+                             "dynamic,2 (default static)")
+    parser.add_argument("--solver", default="SGD",
+                        choices=("SGD", "AdaGrad", "Nesterov"))
+    parser.add_argument("--lr", type=float, default=None,
+                        help="override base learning rate")
+    parser.add_argument("--display", type=int, default=10,
+                        help="print loss every N iterations")
+    parser.add_argument("--snapshot", default=None,
+                        help="save trained weights to this .npz path")
+    parser.add_argument("--test", action="store_true",
+                        help="evaluate test accuracy after training "
+                             "(zoo nets only)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    executor = None
+    if args.threads > 1:
+        executor = ParallelExecutor(
+            num_threads=args.threads,
+            reduction=args.reduction,
+            schedule=make_schedule(args.schedule),
+        )
+
+    if args.net:
+        solver = build_solver(args.net, max_iter=args.iters,
+                              with_test_net=args.test, executor=executor)
+        if args.lr is not None:
+            solver.params.base_lr = args.lr
+        if args.solver != "SGD":
+            params = solver.params
+            params.type = args.solver
+            if args.solver == "AdaGrad":
+                params.momentum = 0.0
+            solver = create_solver(params, solver.net,
+                                   test_net=solver.test_net)
+            if executor is not None:
+                solver.executor = executor
+            if solver.test_net is not None:
+                solver.share_test_net_params()
+    else:
+        register_default_sources()
+        with open(args.prototxt) as handle:
+            spec = parse_prototxt(handle.read())
+        net = Net(spec, phase="TRAIN")
+        params = SolverParams(type=args.solver,
+                              base_lr=args.lr or 0.01,
+                              momentum=0.0 if args.solver == "AdaGrad"
+                              else 0.9,
+                              max_iter=args.iters)
+        solver = create_solver(params, net)
+        if executor is not None:
+            solver.executor = executor
+
+    solver.params.display = args.display
+    solver.set_display(print)
+    print(f"training {args.net or args.prototxt}: {args.iters} iterations, "
+          f"{args.threads} thread(s), {args.reduction} reduction, "
+          f"{args.schedule} schedule, {args.solver}")
+    final_loss = solver.step(args.iters)
+    print(f"final loss: {final_loss:.6f}")
+
+    if args.test and solver.test_net is not None:
+        print(f"test accuracy: {solver.test():.3f}")
+    if args.snapshot:
+        solver.net.save(args.snapshot)
+        print(f"weights saved to {args.snapshot}")
+    if executor is not None:
+        executor.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Convenience builders: prototxt name -> runnable Net / Solver."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data import register_default_sources
+from repro.framework.net import Net
+from repro.framework.solvers import SolverParams, create_solver
+from repro.zoo.cifar10 import cifar10_solver_params, cifar10_spec
+from repro.zoo.lenet import lenet_solver_params, lenet_spec
+from repro.zoo.mlp import mlp_solver_params, mlp_spec
+
+_SPECS = {
+    "lenet": (lenet_spec, lenet_solver_params),
+    "cifar10": (cifar10_spec, cifar10_solver_params),
+    "mlp": (mlp_spec, mlp_solver_params),
+}
+
+
+def build_net(name: str, phase: str = "TRAIN") -> Net:
+    """Build a zoo network wired to the synthetic data sources.
+
+    ``name`` is ``"lenet"``, ``"cifar10"`` or ``"mlp"``.
+    """
+    if name not in _SPECS:
+        raise KeyError(f"unknown zoo network {name!r}; have {sorted(_SPECS)}")
+    register_default_sources()
+    spec_fn, _ = _SPECS[name]
+    return Net(spec_fn(), phase=phase)
+
+
+def build_solver(
+    name: str,
+    max_iter: int = 100,
+    with_test_net: bool = False,
+    executor=None,
+    params: Optional[SolverParams] = None,
+):
+    """Build a ready-to-run solver for a zoo network."""
+    if name not in _SPECS:
+        raise KeyError(f"unknown zoo network {name!r}; have {sorted(_SPECS)}")
+    register_default_sources()
+    spec_fn, params_fn = _SPECS[name]
+    solver_params = params or params_fn(max_iter=max_iter)
+    train_net = Net(spec_fn(), phase="TRAIN")
+    test_net = Net(spec_fn(), phase="TEST") if with_test_net else None
+    solver = create_solver(solver_params, train_net, test_net=test_net)
+    if executor is not None:
+        solver.executor = executor
+    if test_net is not None:
+        solver.share_test_net_params()
+    return solver

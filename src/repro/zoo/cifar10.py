@@ -1,0 +1,219 @@
+"""The CIFAR-10 "full" network from the Caffe distribution.
+
+14 layers (paper Figure 3, bottom), organized in three levels:
+
+* level 1 — data, conv1, pool1 (MAX), relu1, norm1 (LRN);
+* level 2 — conv2, relu2, pool2 (AVE), norm2 (LRN);
+* level 3 — conv3, relu3, pool3 (AVE), then ip1 and loss.
+
+This is the layer ordering Section 4.2.1 walks through (pooling before
+ReLU in level 1; AVE pooling after ReLU in levels 2 and 3).
+"""
+
+from __future__ import annotations
+
+from repro.framework.net_spec import NetSpec
+from repro.framework.prototxt import parse_prototxt
+from repro.framework.solvers import SolverParams
+
+CIFAR10_PROTOTXT = """
+name: "CIFAR10_full"
+layer {
+  name: "cifar"
+  type: "Data"
+  top: "data"
+  top: "label"
+  include { phase: TRAIN }
+  # Caffe's CIFAR pipeline subtracts the dataset mean from raw 0-255
+  # pixels, feeding values in roughly [-128, 128]; the synthetic images
+  # are in [0, 1], so recentre and rescale to the same range (without
+  # this, the std=0.0001 conv1 initializer starves the whole stack).
+  transform_param { mean_value: 0.5 scale: 255.0 }
+  data_param {
+    source: "synth_cifar_train"
+    batch_size: 100
+  }
+}
+layer {
+  name: "cifar"
+  type: "Data"
+  top: "data"
+  top: "label"
+  include { phase: TEST }
+  transform_param { mean_value: 0.5 scale: 255.0 }
+  data_param {
+    source: "synth_cifar_test"
+    batch_size: 100
+  }
+}
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  convolution_param {
+    num_output: 32
+    pad: 2
+    kernel_size: 5
+    stride: 1
+    filler_seed: 201
+    weight_filler { type: "gaussian" std: 0.0001 }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param {
+    pool: MAX
+    kernel_size: 3
+    stride: 2
+  }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "pool1"
+  top: "pool1"
+}
+layer {
+  name: "norm1"
+  type: "LRN"
+  bottom: "pool1"
+  top: "norm1"
+  lrn_param {
+    local_size: 3
+    alpha: 0.00005
+    beta: 0.75
+  }
+}
+layer {
+  name: "conv2"
+  type: "Convolution"
+  bottom: "norm1"
+  top: "conv2"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  convolution_param {
+    num_output: 32
+    pad: 2
+    kernel_size: 5
+    stride: 1
+    filler_seed: 202
+    weight_filler { type: "gaussian" std: 0.01 }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "relu2"
+  type: "ReLU"
+  bottom: "conv2"
+  top: "conv2"
+}
+layer {
+  name: "pool2"
+  type: "Pooling"
+  bottom: "conv2"
+  top: "pool2"
+  pooling_param {
+    pool: AVE
+    kernel_size: 3
+    stride: 2
+  }
+}
+layer {
+  name: "norm2"
+  type: "LRN"
+  bottom: "pool2"
+  top: "norm2"
+  lrn_param {
+    local_size: 3
+    alpha: 0.00005
+    beta: 0.75
+  }
+}
+layer {
+  name: "conv3"
+  type: "Convolution"
+  bottom: "norm2"
+  top: "conv3"
+  convolution_param {
+    num_output: 64
+    pad: 2
+    kernel_size: 5
+    stride: 1
+    filler_seed: 203
+    weight_filler { type: "gaussian" std: 0.01 }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "relu3"
+  type: "ReLU"
+  bottom: "conv3"
+  top: "conv3"
+}
+layer {
+  name: "pool3"
+  type: "Pooling"
+  bottom: "conv3"
+  top: "pool3"
+  pooling_param {
+    pool: AVE
+    kernel_size: 3
+    stride: 2
+  }
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "pool3"
+  top: "ip1"
+  param { lr_mult: 1 decay_mult: 250 }
+  param { lr_mult: 2 decay_mult: 0 }
+  inner_product_param {
+    num_output: 10
+    filler_seed: 204
+    weight_filler { type: "gaussian" std: 0.01 }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "accuracy"
+  type: "Accuracy"
+  bottom: "ip1"
+  bottom: "label"
+  top: "accuracy"
+  include { phase: TEST }
+}
+layer {
+  name: "loss"
+  type: "SoftmaxWithLoss"
+  bottom: "ip1"
+  bottom: "label"
+  top: "loss"
+}
+"""
+
+
+def cifar10_spec() -> NetSpec:
+    """Parse the CIFAR-10 full prototxt into a :class:`NetSpec`."""
+    return parse_prototxt(CIFAR10_PROTOTXT)
+
+
+def cifar10_solver_params(max_iter: int = 100) -> SolverParams:
+    """The Caffe ``cifar10_full_solver.prototxt`` hyper-parameters."""
+    return SolverParams(
+        type="SGD",
+        base_lr=0.001,
+        momentum=0.9,
+        weight_decay=0.004,
+        lr_policy="fixed",
+        max_iter=max_iter,
+        test_interval=0,
+        test_iter=4,
+    )

@@ -1,0 +1,165 @@
+"""LeNet for MNIST, as shipped with Caffe (paper Section 2.2).
+
+The prototxt matches ``examples/mnist/lenet_train_test.prototxt`` of the
+Caffe distribution, with the LMDB sources replaced by the synthetic
+dataset registrations and explicit filler seeds so network initialization
+is reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.framework.net_spec import NetSpec
+from repro.framework.prototxt import parse_prototxt
+from repro.framework.solvers import SolverParams
+
+LENET_PROTOTXT = """
+name: "LeNet"
+layer {
+  name: "mnist"
+  type: "Data"
+  top: "data"
+  top: "label"
+  include { phase: TRAIN }
+  transform_param { scale: 1.0 }
+  data_param {
+    source: "synth_mnist_train"
+    batch_size: 64
+  }
+}
+layer {
+  name: "mnist"
+  type: "Data"
+  top: "data"
+  top: "label"
+  include { phase: TEST }
+  transform_param { scale: 1.0 }
+  data_param {
+    source: "synth_mnist_test"
+    batch_size: 100
+  }
+}
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  convolution_param {
+    num_output: 20
+    kernel_size: 5
+    stride: 1
+    filler_seed: 101
+    weight_filler { type: "xavier" }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param {
+    pool: MAX
+    kernel_size: 2
+    stride: 2
+  }
+}
+layer {
+  name: "conv2"
+  type: "Convolution"
+  bottom: "pool1"
+  top: "conv2"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  convolution_param {
+    num_output: 50
+    kernel_size: 5
+    stride: 1
+    filler_seed: 102
+    weight_filler { type: "xavier" }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "pool2"
+  type: "Pooling"
+  bottom: "conv2"
+  top: "pool2"
+  pooling_param {
+    pool: MAX
+    kernel_size: 2
+    stride: 2
+  }
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "pool2"
+  top: "ip1"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  inner_product_param {
+    num_output: 500
+    filler_seed: 103
+    weight_filler { type: "xavier" }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "ip1"
+  top: "ip1"
+}
+layer {
+  name: "ip2"
+  type: "InnerProduct"
+  bottom: "ip1"
+  top: "ip2"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  inner_product_param {
+    num_output: 10
+    filler_seed: 104
+    weight_filler { type: "xavier" }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "accuracy"
+  type: "Accuracy"
+  bottom: "ip2"
+  bottom: "label"
+  top: "accuracy"
+  include { phase: TEST }
+}
+layer {
+  name: "loss"
+  type: "SoftmaxWithLoss"
+  bottom: "ip2"
+  bottom: "label"
+  top: "loss"
+}
+"""
+
+
+def lenet_spec() -> NetSpec:
+    """Parse the LeNet prototxt into a :class:`NetSpec`."""
+    return parse_prototxt(LENET_PROTOTXT)
+
+
+def lenet_solver_params(max_iter: int = 100) -> SolverParams:
+    """The Caffe ``lenet_solver.prototxt`` hyper-parameters."""
+    return SolverParams(
+        type="SGD",
+        base_lr=0.01,
+        momentum=0.9,
+        weight_decay=0.0005,
+        lr_policy="inv",
+        gamma=0.0001,
+        power=0.75,
+        max_iter=max_iter,
+        test_interval=0,
+        test_iter=4,
+    )

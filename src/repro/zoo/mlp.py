@@ -1,0 +1,118 @@
+"""A multi-layer perceptron for MNIST — the zoo's generality witness.
+
+Not from the paper: a fully-connected Sigmoid/Dropout network with no
+convolutions at all, included to demonstrate the network-agnostic
+property on a topology whose layers differ completely from the two CNNs
+(and to exercise Dropout and Sigmoid through the full training path).
+"""
+
+from __future__ import annotations
+
+from repro.framework.net_spec import NetSpec
+from repro.framework.prototxt import parse_prototxt
+from repro.framework.solvers import SolverParams
+
+MLP_PROTOTXT = """
+name: "MNIST_MLP"
+layer {
+  name: "mnist"
+  type: "Data"
+  top: "data"
+  top: "label"
+  include { phase: TRAIN }
+  data_param {
+    source: "synth_mnist_train"
+    batch_size: 64
+  }
+}
+layer {
+  name: "mnist"
+  type: "Data"
+  top: "data"
+  top: "label"
+  include { phase: TEST }
+  data_param {
+    source: "synth_mnist_test"
+    batch_size: 100
+  }
+}
+layer {
+  name: "flatten"
+  type: "Flatten"
+  bottom: "data"
+  top: "flat"
+}
+layer {
+  name: "fc1"
+  type: "InnerProduct"
+  bottom: "flat"
+  top: "fc1"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  inner_product_param {
+    num_output: 128
+    filler_seed: 301
+    weight_filler { type: "xavier" }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "sig1"
+  type: "Sigmoid"
+  bottom: "fc1"
+  top: "fc1"
+}
+layer {
+  name: "drop1"
+  type: "Dropout"
+  bottom: "fc1"
+  top: "fc1"
+  dropout_param { dropout_ratio: 0.2 seed: 77 }
+}
+layer {
+  name: "fc2"
+  type: "InnerProduct"
+  bottom: "fc1"
+  top: "fc2"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  inner_product_param {
+    num_output: 10
+    filler_seed: 302
+    weight_filler { type: "xavier" }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "accuracy"
+  type: "Accuracy"
+  bottom: "fc2"
+  bottom: "label"
+  top: "accuracy"
+  include { phase: TEST }
+}
+layer {
+  name: "loss"
+  type: "SoftmaxWithLoss"
+  bottom: "fc2"
+  bottom: "label"
+  top: "loss"
+}
+"""
+
+
+def mlp_spec() -> NetSpec:
+    """Parse the MLP prototxt into a :class:`NetSpec`."""
+    return parse_prototxt(MLP_PROTOTXT)
+
+
+def mlp_solver_params(max_iter: int = 100) -> SolverParams:
+    return SolverParams(
+        type="SGD",
+        base_lr=0.1,
+        momentum=0.9,
+        weight_decay=0.0005,
+        lr_policy="fixed",
+        max_iter=max_iter,
+        test_iter=4,
+    )

@@ -1,0 +1,87 @@
+"""Unit tests for backend dispatch and operation accounting."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import blaslib
+from repro.blaslib import backend_name, op_counter, use_backend
+
+
+class TestBackendSwitch:
+    def test_default_is_numpy(self):
+        assert backend_name() == "numpy"
+
+    def test_context_restores(self):
+        with use_backend("reference"):
+            assert backend_name() == "reference"
+        assert backend_name() == "numpy"
+
+    def test_nesting(self):
+        with use_backend("reference"):
+            with use_backend("numpy"):
+                assert backend_name() == "numpy"
+            assert backend_name() == "reference"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown BLAS backend"):
+            with use_backend("cuda"):
+                pass
+
+    def test_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["worker"] = backend_name()
+
+        with use_backend("reference"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["worker"] == "numpy"  # other thread unaffected
+
+
+class TestOpCounter:
+    def test_counts_gemm_flops(self, rng):
+        a = rng.standard_normal((4, 3)).astype(np.float32)
+        b = rng.standard_normal((3, 5)).astype(np.float32)
+        c = np.zeros((4, 5), dtype=np.float32)
+        with op_counter() as counter:
+            blaslib.gemm(False, False, 1.0, a, b, 0.0, c)
+        assert counter.flops["gemm"] == 2 * 4 * 5 * 3
+        assert counter.calls["gemm"] == 1
+        assert counter.total_bytes() > 0
+
+    def test_multiple_kinds(self, rng):
+        x = rng.standard_normal(10).astype(np.float32)
+        y = np.zeros(10, dtype=np.float32)
+        with op_counter() as counter:
+            blaslib.axpy(1.0, x, y)
+            blaslib.dot(x, y)
+        assert set(counter.flops) == {"axpy", "dot"}
+        assert counter.total_calls() == 2
+
+    def test_nested_counters_fold_into_outer(self, rng):
+        x = rng.standard_normal(8).astype(np.float32)
+        y = np.zeros(8, dtype=np.float32)
+        with op_counter() as outer:
+            blaslib.axpy(1.0, x, y)
+            with op_counter() as inner:
+                blaslib.axpy(1.0, x, y)
+            assert inner.calls["axpy"] == 1
+        assert outer.calls["axpy"] == 2
+
+    def test_no_counter_no_error(self, rng):
+        x = rng.standard_normal(4).astype(np.float32)
+        blaslib.scal(2.0, x)  # records nowhere, must not raise
+
+    def test_merged_with(self):
+        from repro.blaslib import OpCounter
+        a, b = OpCounter(), OpCounter()
+        a.record("gemm", 10, 100)
+        b.record("gemm", 5, 50)
+        b.record("dot", 2, 8)
+        merged = a.merged_with(b)
+        assert merged.flops == {"gemm": 15, "dot": 2}
+        assert merged.total_bytes() == 158

@@ -1,0 +1,136 @@
+"""Unit tests for gemm / gemv / ger against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro import blaslib
+from repro.blaslib import use_backend
+
+
+@pytest.fixture
+def mats(rng):
+    a = rng.standard_normal((4, 3)).astype(np.float32)
+    b = rng.standard_normal((3, 5)).astype(np.float32)
+    c = rng.standard_normal((4, 5)).astype(np.float32)
+    return a, b, c
+
+
+class TestGemm:
+    def test_plain(self, mats):
+        a, b, c = mats
+        expected = a @ b
+        blaslib.gemm(False, False, 1.0, a, b, 0.0, c)
+        assert np.allclose(c, expected, atol=1e-5)
+
+    def test_alpha_beta(self, mats):
+        a, b, c = mats
+        expected = 2.0 * (a @ b) + 0.5 * c
+        blaslib.gemm(False, False, 2.0, a, b, 0.5, c)
+        assert np.allclose(c, expected, atol=1e-5)
+
+    def test_trans_a(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((3, 5)).astype(np.float32)
+        c = np.zeros((4, 5), dtype=np.float32)
+        blaslib.gemm(True, False, 1.0, a, b, 0.0, c)
+        assert np.allclose(c, a.T @ b, atol=1e-5)
+
+    def test_trans_b(self, rng):
+        a = rng.standard_normal((4, 3)).astype(np.float32)
+        b = rng.standard_normal((5, 3)).astype(np.float32)
+        c = np.zeros((4, 5), dtype=np.float32)
+        blaslib.gemm(False, True, 1.0, a, b, 0.0, c)
+        assert np.allclose(c, a @ b.T, atol=1e-5)
+
+    def test_both_trans(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((5, 3)).astype(np.float32)
+        c = np.zeros((4, 5), dtype=np.float32)
+        blaslib.gemm(True, True, 1.0, a, b, 0.0, c)
+        assert np.allclose(c, a.T @ b.T, atol=1e-5)
+
+    def test_inner_mismatch(self, rng):
+        a = rng.standard_normal((4, 3)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        with pytest.raises(ValueError, match="inner dimension"):
+            blaslib.gemm(False, False, 1.0, a, b, 0.0,
+                         np.zeros((4, 5), np.float32))
+
+    def test_output_shape_mismatch(self, mats):
+        a, b, _ = mats
+        with pytest.raises(ValueError, match="C has shape"):
+            blaslib.gemm(False, False, 1.0, a, b, 0.0,
+                         np.zeros((2, 2), np.float32))
+
+    def test_reference_backend(self, rng):
+        a = rng.standard_normal((2, 3)).astype(np.float32)
+        b = rng.standard_normal((3, 2)).astype(np.float32)
+        c1 = np.zeros((2, 2), dtype=np.float32)
+        c2 = np.zeros((2, 2), dtype=np.float32)
+        blaslib.gemm(False, False, 1.0, a, b, 0.0, c1)
+        with use_backend("reference"):
+            blaslib.gemm(False, False, 1.0, a, b, 0.0, c2)
+        assert np.allclose(c1, c2, atol=1e-5)
+
+
+class TestGemv:
+    def test_plain(self, rng):
+        a = rng.standard_normal((4, 3)).astype(np.float32)
+        x = rng.standard_normal(3).astype(np.float32)
+        y = np.zeros(4, dtype=np.float32)
+        blaslib.gemv(False, 1.0, a, x, 0.0, y)
+        assert np.allclose(y, a @ x, atol=1e-5)
+
+    def test_trans(self, rng):
+        a = rng.standard_normal((4, 3)).astype(np.float32)
+        x = rng.standard_normal(4).astype(np.float32)
+        y = np.zeros(3, dtype=np.float32)
+        blaslib.gemv(True, 1.0, a, x, 0.0, y)
+        assert np.allclose(y, a.T @ x, atol=1e-5)
+
+    def test_beta_accumulate(self, rng):
+        a = rng.standard_normal((2, 2)).astype(np.float32)
+        x = rng.standard_normal(2).astype(np.float32)
+        y = np.ones(2, dtype=np.float32)
+        expected = 0.5 * (a @ x) + 2.0 * y
+        blaslib.gemv(False, 0.5, a, x, 2.0, y)
+        assert np.allclose(y, expected, atol=1e-5)
+
+    def test_shape_errors(self, rng):
+        a = rng.standard_normal((4, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="x has shape"):
+            blaslib.gemv(False, 1.0, a, np.zeros(4, np.float32),
+                         0.0, np.zeros(4, np.float32))
+        with pytest.raises(ValueError, match="y has shape"):
+            blaslib.gemv(False, 1.0, a, np.zeros(3, np.float32),
+                         0.0, np.zeros(3, np.float32))
+
+    def test_reference_backend(self, rng):
+        a = rng.standard_normal((3, 2)).astype(np.float32)
+        x = rng.standard_normal(2).astype(np.float32)
+        y1 = np.zeros(3, dtype=np.float32)
+        y2 = np.zeros(3, dtype=np.float32)
+        blaslib.gemv(False, 1.0, a, x, 0.0, y1)
+        with use_backend("reference"):
+            blaslib.gemv(False, 1.0, a, x, 0.0, y2)
+        assert np.allclose(y1, y2, atol=1e-5)
+
+
+class TestGer:
+    def test_rank1_update(self, rng):
+        x = rng.standard_normal(3).astype(np.float32)
+        y = rng.standard_normal(4).astype(np.float32)
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        expected = a + 2.0 * np.outer(x, y)
+        blaslib.ger(2.0, x, y, a)
+        assert np.allclose(a, expected, atol=1e-5)
+
+    def test_reference(self, rng):
+        x = rng.standard_normal(2).astype(np.float32)
+        y = rng.standard_normal(2).astype(np.float32)
+        a1 = np.zeros((2, 2), dtype=np.float32)
+        a2 = np.zeros((2, 2), dtype=np.float32)
+        blaslib.ger(1.0, x, y, a1)
+        with use_backend("reference"):
+            blaslib.ger(1.0, x, y, a2)
+        assert np.allclose(a1, a2, atol=1e-5)

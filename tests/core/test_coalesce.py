@@ -1,0 +1,68 @@
+"""Unit tests for loop coalescing."""
+
+import pytest
+
+from repro.core.coalesce import CoalescedSpace
+
+
+class TestBijection:
+    def test_size(self):
+        assert CoalescedSpace((4, 3, 2)).size == 24
+
+    def test_row_major_order(self):
+        space = CoalescedSpace((2, 3))
+        expected = [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        assert [space.indices(i) for i in range(6)] == expected
+
+    def test_round_trip(self):
+        space = CoalescedSpace((3, 4, 5))
+        for civ in range(space.size):
+            assert space.civ(space.indices(civ)) == civ
+
+    def test_single_dim(self):
+        space = CoalescedSpace((7,))
+        assert space.indices(3) == (3,)
+        assert space.civ((3,)) == 3
+
+    def test_out_of_range(self):
+        space = CoalescedSpace((2, 2))
+        with pytest.raises(IndexError):
+            space.indices(4)
+        with pytest.raises(IndexError):
+            space.civ((2, 0))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="indices"):
+            CoalescedSpace((2, 2)).civ((1,))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError, match="positive"):
+            CoalescedSpace((2, 0))
+        with pytest.raises(ValueError, match="at least one"):
+            CoalescedSpace(())
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        assert CoalescedSpace((16,)).imbalance(4) == 0.0
+
+    def test_batch_only_worst_case(self):
+        # 9 iterations over 8 threads: busiest gets 2, ideal 1.125
+        space = CoalescedSpace((9,))
+        assert space.imbalance(8) == pytest.approx(2 / (9 / 8) - 1)
+
+    def test_coalescing_reduces_imbalance(self):
+        """The paper's motivation for Algorithm 4's coalescing: same
+        total work, finer units, better balance."""
+        batch_only = CoalescedSpace((9,))
+        coalesced = CoalescedSpace((9, 64))
+        for threads in (2, 4, 8, 16):
+            assert coalesced.imbalance(threads) <= batch_only.imbalance(threads)
+
+    def test_more_threads_than_iterations(self):
+        space = CoalescedSpace((4,))
+        assert space.imbalance(8) == pytest.approx(8 / 4 - 1)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            CoalescedSpace((4,)).imbalance(0)

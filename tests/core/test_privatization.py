@@ -1,0 +1,72 @@
+"""Unit tests for the private gradient pool."""
+
+import numpy as np
+import pytest
+
+from repro.core.privatization import PrivatePool
+
+
+class TestPool:
+    def test_zeroed_buffers(self):
+        pool = PrivatePool()
+        buffers = pool.request(0, [4, 8])
+        assert [b.size for b in buffers] == [4, 8]
+        assert all((b == 0).all() for b in buffers)
+
+    def test_reuse_across_layers(self):
+        """Buffers are reused (the paper's 'memory never crosses the
+        layer boundaries' observation): requesting a smaller layer after
+        a bigger one allocates nothing new."""
+        pool = PrivatePool()
+        pool.request(0, [100])
+        before = pool.high_water_bytes
+        pool.request(0, [40])
+        assert pool.high_water_bytes == before
+
+    def test_growth(self):
+        pool = PrivatePool()
+        pool.request(0, [10])
+        pool.request(0, [100])
+        assert pool.current_bytes == 100 * 4
+
+    def test_buffers_rezeroed_on_reuse(self):
+        pool = PrivatePool()
+        first = pool.request(0, [4])[0]
+        first[:] = 7.0
+        second = pool.request(0, [4])[0]
+        assert (second == 0).all()
+
+    def test_slots_independent(self):
+        pool = PrivatePool()
+        a = pool.request(0, [4])[0]
+        b = pool.request(1, [4])[0]
+        a[:] = 1.0
+        assert (b == 0).all()
+        assert a.base is not b.base
+
+    def test_high_water_is_max_over_time(self):
+        pool = PrivatePool()
+        for tid in range(4):
+            pool.request(tid, [50])
+        assert pool.high_water_bytes == 4 * 50 * 4
+
+    def test_clear(self):
+        pool = PrivatePool()
+        pool.request(0, [10])
+        pool.clear()
+        assert pool.current_bytes == 0
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            PrivatePool().request(0, [-1])
+
+    def test_high_water_matches_paper_model(self):
+        """Extra memory = threads x largest reduction layer (Section
+        3.2.1): simulate 16 threads over conv-sized layers."""
+        pool = PrivatePool()
+        conv1, conv2 = 500, 25_000  # LeNet coefficient counts
+        for tid in range(16):
+            pool.request(tid, [conv1])
+        for tid in range(16):
+            pool.request(tid, [conv2])
+        assert pool.high_water_bytes == 16 * conv2 * 4

@@ -1,0 +1,57 @@
+"""Unit tests for the gradient merge helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction import add_into, tree_combine
+
+
+class TestAddInto:
+    def test_accumulates(self):
+        target = np.array([1.0, 2.0], np.float32)
+        add_into([target], [np.array([3.0, 4.0], np.float32)])
+        assert np.allclose(target, [4, 6])
+
+    def test_multiple_targets(self):
+        a = np.zeros(2, np.float32)
+        b = np.zeros(3, np.float32)
+        add_into([a, b], [np.ones(2, np.float32), np.full(3, 2.0, np.float32)])
+        assert np.allclose(a, 1) and np.allclose(b, 2)
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError, match="buffers"):
+            add_into([np.zeros(2)], [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            add_into([np.zeros(2)], [np.zeros(3)])
+
+
+class TestTreeCombine:
+    def test_equals_sum(self, rng):
+        partials = [
+            [rng.standard_normal(8).astype(np.float32)] for _ in range(5)
+        ]
+        expected = np.sum([p[0].copy() for p in partials], axis=0)
+        root = tree_combine([list(map(np.copy, p)) for p in partials])
+        assert np.allclose(root[0], expected, atol=1e-5)
+
+    def test_single_thread(self):
+        only = [np.array([1.0, 2.0], np.float32)]
+        assert tree_combine([only])[0] is only[0]
+
+    def test_deterministic_shape(self, rng):
+        """Fixed tree: combining the same partials twice gives the
+        bitwise-same result."""
+        def partials():
+            gen = np.random.default_rng(3)
+            return [[gen.standard_normal(16).astype(np.float32)]
+                    for _ in range(7)]
+
+        a = tree_combine(partials())[0]
+        b = tree_combine(partials())[0]
+        assert np.array_equal(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_combine([])

@@ -1,0 +1,158 @@
+"""Unit tests for the ThreadTeam runtime."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import DynamicSchedule
+from repro.core.team import ThreadTeam, WorkerError
+
+
+@pytest.fixture
+def team4():
+    with ThreadTeam(4) as team:
+        yield team
+
+
+class TestParallelRegion:
+    def test_all_threads_run(self, team4):
+        seen = [False] * 4
+        team4.parallel(lambda ctx: seen.__setitem__(ctx.thread_id, True))
+        assert all(seen)
+
+    def test_caller_is_thread_zero(self, team4):
+        main = threading.get_ident()
+        idents = {}
+        team4.parallel(
+            lambda ctx: idents.__setitem__(ctx.thread_id, threading.get_ident())
+        )
+        assert idents[0] == main
+        assert len(set(idents.values())) == 4
+
+    def test_single_thread_inline(self):
+        with ThreadTeam(1) as team:
+            ran = []
+            team.parallel(lambda ctx: ran.append(ctx.thread_id))
+            assert ran == [0]
+
+    def test_num_threads_exposed(self, team4):
+        counts = []
+        team4.parallel(lambda ctx: counts.append(ctx.num_threads))
+        assert counts.count(4) == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(0)
+
+    def test_reuse_many_regions(self, team4):
+        total = []
+        for i in range(20):
+            team4.parallel(lambda ctx: total.append(1))
+        assert len(total) == 80
+
+
+class TestSynchronization:
+    def test_ordered_is_in_thread_order(self, team4):
+        for _ in range(5):
+            order = []
+            team4.parallel(lambda ctx: ctx.ordered(
+                lambda: order.append(ctx.thread_id)))
+            assert order == [0, 1, 2, 3]
+
+    def test_critical_mutual_exclusion(self, team4):
+        counter = {"value": 0}
+
+        def bump():
+            value = counter["value"]
+            time.sleep(0.001)  # widen the race window
+            counter["value"] = value + 1
+
+        team4.parallel(lambda ctx: ctx.critical(bump))
+        assert counter["value"] == 4
+
+    def test_barrier(self, team4):
+        phase = []
+
+        def region(ctx):
+            phase.append(("a", ctx.thread_id))
+            ctx.barrier()
+            phase.append(("b", ctx.thread_id))
+
+        team4.parallel(region)
+        labels = [tag for tag, _ in phase]
+        assert labels[:4] == ["a"] * 4 and labels[4:] == ["b"] * 4
+
+
+class TestErrors:
+    def test_worker_error_propagates(self, team4):
+        def region(ctx):
+            if ctx.thread_id == 1:
+                raise KeyError("boom")
+
+        with pytest.raises(WorkerError) as info:
+            team4.parallel(region)
+        assert info.value.thread_id == 1
+        assert isinstance(info.value.original, KeyError)
+
+    def test_error_does_not_deadlock_ordered(self, team4):
+        def region(ctx):
+            if ctx.thread_id == 2:
+                raise ValueError("x")
+            ctx.ordered(lambda: None)
+
+        with pytest.raises(WorkerError) as info:
+            team4.parallel(region)
+        assert info.value.thread_id == 2  # root cause, not a secondary
+
+    def test_team_usable_after_error(self, team4):
+        with pytest.raises(WorkerError):
+            team4.parallel(lambda ctx: 1 / 0)
+        order = []
+        team4.parallel(lambda ctx: ctx.ordered(lambda: order.append(ctx.thread_id)))
+        assert order == [0, 1, 2, 3]
+
+    def test_master_error(self, team4):
+        def region(ctx):
+            if ctx.thread_id == 0:
+                raise RuntimeError("master")
+
+        with pytest.raises(WorkerError) as info:
+            team4.parallel(region)
+        assert info.value.thread_id == 0
+
+    def test_shutdown_rejects_new_regions(self):
+        team = ThreadTeam(2)
+        team.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            team.parallel(lambda ctx: None)
+
+
+class TestParallelFor:
+    def test_covers_space(self, team4):
+        out = np.zeros(101)
+        team4.parallel_for(101, lambda lo, hi, tid: out[lo:hi].fill(1))
+        assert out.all()
+
+    def test_disjoint_writes(self, team4):
+        out = np.full(64, -1.0)
+        team4.parallel_for(64, lambda lo, hi, tid: out[lo:hi].fill(tid))
+        assert (out >= 0).all()
+
+    def test_zero_space_noop(self, team4):
+        team4.parallel_for(0, lambda lo, hi, tid: 1 / 0)
+
+    def test_dynamic_schedule(self, team4):
+        out = np.zeros(50)
+        team4.parallel_for(
+            50, lambda lo, hi, tid: out[lo:hi].__iadd__(1),
+            DynamicSchedule(chunk=3),
+        )
+        assert np.allclose(out, 1.0)
+
+    def test_single_thread_team(self):
+        with ThreadTeam(1) as team:
+            out = np.zeros(10)
+            team.parallel_for(10, lambda lo, hi, tid: out[lo:hi].fill(tid + 1))
+            assert np.allclose(out, 1.0)

@@ -1,0 +1,74 @@
+"""Unit tests for batch sources."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayBatchSource
+
+
+def source(n=10, shuffle=False, seed=0):
+    images = np.arange(n * 4, dtype=np.float32).reshape(n, 1, 2, 2)
+    labels = np.arange(n, dtype=np.int64)
+    return ArrayBatchSource(images, labels, shuffle=shuffle, seed=seed)
+
+
+class TestArrayBatchSource:
+    def test_shape(self):
+        assert source().shape == (1, 2, 2)
+
+    def test_sequential_order(self):
+        s = source()
+        _, labels = s.next_batch(4)
+        assert list(labels) == [0, 1, 2, 3]
+        _, labels = s.next_batch(4)
+        assert list(labels) == [4, 5, 6, 7]
+
+    def test_wrap_around(self):
+        s = source(n=5)
+        _, labels = s.next_batch(8)
+        assert list(labels) == [0, 1, 2, 3, 4, 0, 1, 2]
+        assert s.epochs_completed == 1
+
+    def test_batch_larger_than_dataset(self):
+        s = source(n=3)
+        _, labels = s.next_batch(7)
+        assert list(labels) == [0, 1, 2, 0, 1, 2, 0]
+        assert s.epochs_completed == 2
+
+    def test_images_match_labels(self):
+        s = source()
+        images, labels = s.next_batch(3)
+        for img, lab in zip(images, labels):
+            assert img.ravel()[0] == lab * 4
+
+    def test_shuffle_deterministic_per_seed(self):
+        a, b = source(shuffle=True, seed=3), source(shuffle=True, seed=3)
+        assert np.array_equal(a.next_batch(10)[1], b.next_batch(10)[1])
+
+    def test_shuffle_changes_order(self):
+        s = source(n=50, shuffle=True, seed=1)
+        _, labels = s.next_batch(50)
+        assert not np.array_equal(labels, np.arange(50))
+        assert sorted(labels) == list(range(50))  # still a permutation
+
+    def test_reshuffles_each_epoch(self):
+        s = source(n=20, shuffle=True, seed=2)
+        first = s.next_batch(20)[1]
+        second = s.next_batch(20)[1]
+        assert not np.array_equal(first, second)
+
+    def test_reset(self):
+        s = source()
+        s.next_batch(3)
+        s.reset()
+        assert list(s.next_batch(3)[1]) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n, C, H, W"):
+            ArrayBatchSource(np.zeros((3, 4)), np.zeros(3))
+        with pytest.raises(ValueError, match="labels"):
+            ArrayBatchSource(np.zeros((3, 1, 2, 2)), np.zeros(4))
+        with pytest.raises(ValueError, match="at least one"):
+            ArrayBatchSource(np.zeros((0, 1, 2, 2)), np.zeros(0))
+        with pytest.raises(ValueError, match="batch_size"):
+            source().next_batch(0)

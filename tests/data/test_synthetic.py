@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic MNIST / CIFAR-10 datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR10, SyntheticMNIST
+
+
+class TestSyntheticMNIST:
+    def test_shapes(self):
+        ds = SyntheticMNIST(n_samples=32, seed=0)
+        assert ds.images.shape == (32, 1, 28, 28)
+        assert ds.labels.shape == (32,)
+        assert ds.shape == (1, 28, 28)
+
+    def test_value_range(self):
+        ds = SyntheticMNIST(n_samples=16, seed=0)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_deterministic(self):
+        a = SyntheticMNIST(n_samples=8, seed=5)
+        b = SyntheticMNIST(n_samples=8, seed=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_seed_changes_data(self):
+        a = SyntheticMNIST(n_samples=8, seed=1)
+        b = SyntheticMNIST(n_samples=8, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_all_classes_present(self):
+        ds = SyntheticMNIST(n_samples=300, seed=0)
+        assert set(ds.labels.tolist()) == set(range(10))
+
+    def test_images_have_ink(self):
+        ds = SyntheticMNIST(n_samples=16, seed=0)
+        # every digit draws something substantial
+        assert (ds.images.reshape(16, -1).sum(axis=1) > 10).all()
+
+    def test_classes_are_distinguishable(self):
+        """Nearest-class-mean classification beats chance by a wide
+        margin — the classes carry learnable signal."""
+        train = SyntheticMNIST(n_samples=400, seed=0, noise=0.02)
+        test = SyntheticMNIST(n_samples=100, seed=9, noise=0.02)
+        means = np.stack([
+            train.images[train.labels == c].reshape(-1, 784).mean(axis=0)
+            for c in range(10)
+        ])
+        flat = test.images.reshape(-1, 784)
+        predictions = np.argmin(
+            ((flat[:, None, :] - means[None]) ** 2).sum(axis=2), axis=1
+        )
+        accuracy = (predictions == test.labels).mean()
+        assert accuracy > 0.5  # chance is 0.1
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            SyntheticMNIST(n_samples=0)
+
+
+class TestSyntheticCIFAR10:
+    def test_shapes(self):
+        ds = SyntheticCIFAR10(n_samples=16, seed=0)
+        assert ds.images.shape == (16, 3, 32, 32)
+        assert ds.shape == (3, 32, 32)
+
+    def test_value_range(self):
+        ds = SyntheticCIFAR10(n_samples=16, seed=0)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_deterministic(self):
+        a = SyntheticCIFAR10(n_samples=8, seed=7)
+        b = SyntheticCIFAR10(n_samples=8, seed=7)
+        assert np.array_equal(a.images, b.images)
+
+    def test_color_signatures_differ(self):
+        ds = SyntheticCIFAR10(n_samples=400, seed=0)
+        channel_means = np.stack([
+            ds.images[ds.labels == c].mean(axis=(0, 2, 3))
+            for c in range(10)
+        ])
+        # class hues are distinct: pairwise distances are non-trivial
+        from itertools import combinations
+        distances = [np.linalg.norm(channel_means[a] - channel_means[b])
+                     for a, b in combinations(range(10), 2)]
+        assert min(distances) > 0.01
+
+    def test_classes_distinguishable(self):
+        train = SyntheticCIFAR10(n_samples=400, seed=0, noise=0.02)
+        test = SyntheticCIFAR10(n_samples=100, seed=9, noise=0.02)
+        dim = 3 * 32 * 32
+        means = np.stack([
+            train.images[train.labels == c].reshape(-1, dim).mean(axis=0)
+            for c in range(10)
+        ])
+        flat = test.images.reshape(-1, dim)
+        predictions = np.argmin(
+            ((flat[:, None, :] - means[None]) ** 2).sum(axis=2), axis=1
+        )
+        assert (predictions == test.labels).mean() > 0.4
+
+
+class TestRegistry:
+    def test_default_sources_registered(self):
+        from repro.data import register_default_sources
+        from repro.framework.layers.data import create_source
+        register_default_sources()
+        for name in ("synth_mnist_train", "synth_mnist_test",
+                     "synth_cifar_train", "synth_cifar_test"):
+            src = create_source(name)
+            assert src.size > 0
+
+    def test_sources_share_cached_dataset(self):
+        from repro.data import register_default_sources
+        from repro.framework.layers.data import create_source
+        register_default_sources()
+        a = create_source("synth_mnist_train")
+        b = create_source("synth_mnist_train")
+        assert a is not b  # independent cursors
+        assert np.array_equal(a.next_batch(4)[0], b.next_batch(4)[0])

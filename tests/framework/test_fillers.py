@@ -1,0 +1,68 @@
+"""Unit tests for parameter fillers."""
+
+import numpy as np
+import pytest
+
+from repro.framework.blob import Blob
+from repro.framework.fillers import FillerSpec, fill
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(42)
+
+
+class TestFillers:
+    def test_constant(self, gen):
+        blob = fill(Blob((10,)), FillerSpec(type="constant", value=3.0), gen)
+        assert np.allclose(blob.data, 3.0)
+
+    def test_uniform_range(self, gen):
+        blob = fill(Blob((1000,)), FillerSpec(type="uniform", min=-2, max=5), gen)
+        assert blob.flat_data.min() >= -2 and blob.flat_data.max() <= 5
+        assert blob.flat_data.std() > 0.5
+
+    def test_uniform_bad_range(self, gen):
+        with pytest.raises(ValueError, match="max"):
+            fill(Blob((4,)), FillerSpec(type="uniform", min=1, max=0), gen)
+
+    def test_gaussian_moments(self, gen):
+        blob = fill(Blob((5000,)), FillerSpec(type="gaussian", mean=1, std=2), gen)
+        assert blob.flat_data.mean() == pytest.approx(1.0, abs=0.15)
+        assert blob.flat_data.std() == pytest.approx(2.0, abs=0.15)
+
+    def test_gaussian_negative_std(self, gen):
+        with pytest.raises(ValueError, match="std"):
+            fill(Blob((4,)), FillerSpec(type="gaussian", std=-1), gen)
+
+    def test_xavier_scale(self, gen):
+        # fan_in for (50, 20) weights is 20 -> scale sqrt(3/20)
+        blob = fill(Blob((50, 20)), FillerSpec(type="xavier"), gen)
+        bound = np.sqrt(3.0 / 20.0)
+        assert abs(blob.flat_data).max() <= bound + 1e-6
+
+    def test_xavier_variance_norms(self, gen):
+        for norm in ("fan_in", "fan_out", "average"):
+            fill(Blob((8, 4)), FillerSpec(type="xavier", variance_norm=norm), gen)
+        with pytest.raises(ValueError, match="variance_norm"):
+            fill(Blob((8, 4)), FillerSpec(type="xavier", variance_norm="x"), gen)
+
+    def test_msra_std(self, gen):
+        blob = fill(Blob((100, 200)), FillerSpec(type="msra"), gen)
+        assert blob.flat_data.std() == pytest.approx(np.sqrt(2 / 200), rel=0.1)
+
+    def test_positive_unitball_rows_sum_to_one(self, gen):
+        blob = fill(Blob((6, 10)), FillerSpec(type="positive_unitball"), gen)
+        assert np.allclose(blob.data.sum(axis=1), 1.0, atol=1e-5)
+        assert (blob.flat_data >= 0).all()
+
+    def test_unknown_type(self, gen):
+        with pytest.raises(ValueError, match="unknown filler"):
+            fill(Blob((4,)), FillerSpec(type="bogus"), gen)
+
+    def test_deterministic_per_seed(self):
+        a = fill(Blob((16,)), FillerSpec(type="gaussian"),
+                 np.random.default_rng(5))
+        b = fill(Blob((16,)), FillerSpec(type="gaussian"),
+                 np.random.default_rng(5))
+        assert np.array_equal(a.flat_data, b.flat_data)

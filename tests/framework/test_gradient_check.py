@@ -1,0 +1,82 @@
+"""Self-tests for the numerical gradient checker: it must catch bugs."""
+
+import numpy as np
+import pytest
+
+from repro.framework.blob import Blob
+from repro.framework.gradient_check import GradientCheckError, check_gradient
+from repro.framework.layers.neuron import NeuronLayer
+from repro.testing import make_blob, spec
+
+
+class BrokenBackwardLayer(NeuronLayer):
+    """y = 2x forward, but backward claims dy/dx = 3 (wrong)."""
+
+    def forward_chunk(self, bottom, top, lo, hi):
+        np.multiply(bottom[0].flat_data[lo:hi], 2.0,
+                    out=top[0].flat_data[lo:hi])
+
+    def backward_chunk(self, top, propagate_down, bottom, lo, hi,
+                       param_grads):
+        np.multiply(top[0].flat_diff[lo:hi], 3.0,
+                    out=bottom[0].flat_diff[lo:hi])
+
+
+class CorrectLayer(NeuronLayer):
+    """y = 2x with the right backward."""
+
+    def forward_chunk(self, bottom, top, lo, hi):
+        np.multiply(bottom[0].flat_data[lo:hi], 2.0,
+                    out=top[0].flat_data[lo:hi])
+
+    def backward_chunk(self, top, propagate_down, bottom, lo, hi,
+                       param_grads):
+        np.multiply(top[0].flat_diff[lo:hi], 2.0,
+                    out=bottom[0].flat_diff[lo:hi])
+
+
+class SignErrorLayer(NeuronLayer):
+    """y = x^2/2 forward; backward returns -x dy (sign flipped)."""
+
+    def forward_chunk(self, bottom, top, lo, hi):
+        x = bottom[0].flat_data[lo:hi]
+        np.multiply(x, x * 0.5, out=top[0].flat_data[lo:hi])
+
+    def backward_chunk(self, top, propagate_down, bottom, lo, hi,
+                       param_grads):
+        x = bottom[0].flat_data[lo:hi]
+        np.copyto(bottom[0].flat_diff[lo:hi],
+                  -x * top[0].flat_diff[lo:hi])
+
+
+class TestChecker:
+    def test_accepts_correct_layer(self, rng):
+        layer = CorrectLayer(spec("ok", "ReLU"))
+        check_gradient(layer, [make_blob((3, 4), rng=rng)], [Blob()])
+
+    def test_catches_wrong_magnitude(self, rng):
+        layer = BrokenBackwardLayer(spec("bad", "ReLU"))
+        with pytest.raises(GradientCheckError, match="analytic"):
+            check_gradient(layer, [make_blob((3, 4), rng=rng)], [Blob()])
+
+    def test_catches_sign_error(self, rng):
+        """Sign errors cancel under a plain-sum objective; the weighted
+        objective must still catch them."""
+        layer = SignErrorLayer(spec("sign", "ReLU"))
+        with pytest.raises(GradientCheckError):
+            check_gradient(layer, [make_blob((3, 4), rng=rng)], [Blob()])
+
+    def test_check_bottom_subset(self, rng):
+        """Only the requested bottoms are differentiated (labels etc.)."""
+        from repro.framework.layer import create_layer
+        layer = create_layer(spec("loss", "SoftmaxWithLoss"))
+        scores = make_blob((3, 4), rng=rng)
+        labels = make_blob((3,), values=[0, 1, 2])
+        check_gradient(layer, [scores, labels], [Blob()], check_bottom=[0])
+
+    def test_threshold_respected(self, rng):
+        """A very loose threshold lets a slightly-wrong layer pass —
+        confirming the threshold knob does what it says."""
+        layer = BrokenBackwardLayer(spec("bad", "ReLU"))
+        check_gradient(layer, [make_blob((2, 2), rng=rng)], [Blob()],
+                       threshold=10.0)

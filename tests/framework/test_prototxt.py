@@ -1,0 +1,131 @@
+"""Unit tests for the prototxt parser."""
+
+import pytest
+
+from repro.framework.prototxt import PrototxtError, parse_prototxt, parse_text
+
+
+class TestTokenizerAndScalars:
+    def test_scalars(self):
+        msg = parse_text('a: 1 b: -2.5 c: "hi" d: true e: MAX f: 1e-3')
+        assert msg == {"a": 1, "b": -2.5, "c": "hi", "d": True,
+                       "e": "MAX", "f": 1e-3}
+
+    def test_comments_ignored(self):
+        msg = parse_text("# header\na: 1 # trailing\nb: 2")
+        assert msg == {"a": 1, "b": 2}
+
+    def test_string_escapes(self):
+        msg = parse_text(r'path: "a\nb"')
+        assert msg["path"] == "a\nb"
+
+    def test_repeated_keys_accumulate(self):
+        msg = parse_text("dim: 1 dim: 2 dim: 3")
+        assert msg["dim"] == [1, 2, 3]
+
+    def test_nested_messages(self):
+        msg = parse_text("outer { inner { x: 1 } y: 2 }")
+        assert msg == {"outer": {"inner": {"x": 1}, "y": 2}}
+
+    def test_unexpected_char(self):
+        with pytest.raises(PrototxtError, match="unexpected character"):
+            parse_text("a: @")
+
+    def test_unterminated_block(self):
+        with pytest.raises(PrototxtError, match="unterminated"):
+            parse_text("a { x: 1")
+
+    def test_unmatched_close(self):
+        with pytest.raises(PrototxtError, match="unmatched"):
+            parse_text("a: 1 }")
+
+    def test_missing_separator(self):
+        with pytest.raises(PrototxtError, match="':' or '{'"):
+            parse_text("a 1")
+
+
+class TestNetSpecMapping:
+    NET = """
+    name: "tiny"
+    layer {
+      name: "in" type: "Input" top: "data"
+      input_param { shape { dim: 1 dim: 3 dim: 4 dim: 4 } }
+    }
+    layer {
+      name: "conv" type: "Convolution" bottom: "data" top: "conv"
+      param { lr_mult: 1 decay_mult: 2 }
+      convolution_param { num_output: 2 kernel_size: 3 }
+    }
+    layer {
+      name: "acc" type: "Accuracy" bottom: "conv" bottom: "data" top: "acc"
+      include { phase: TEST }
+    }
+    """
+
+    def test_layers_parsed(self):
+        spec = parse_prototxt(self.NET)
+        assert spec.name == "tiny"
+        assert [s.name for s in spec.layers] == ["in", "conv", "acc"]
+
+    def test_param_blocks_merged(self):
+        spec = parse_prototxt(self.NET)
+        conv = spec.layer("conv")
+        assert conv.params["num_output"] == 2
+        assert conv.params["kernel_size"] == 3
+
+    def test_param_specs(self):
+        conv = parse_prototxt(self.NET).layer("conv")
+        assert conv.param_specs[0].lr_mult == 1
+        assert conv.param_specs[0].decay_mult == 2
+
+    def test_phase(self):
+        spec = parse_prototxt(self.NET)
+        assert spec.layer("acc").phase == "TEST"
+        assert spec.layer("conv").phase is None
+
+    def test_bottoms_tops(self):
+        acc = parse_prototxt(self.NET).layer("acc")
+        assert acc.bottoms == ["conv", "data"]
+        assert acc.tops == ["acc"]
+
+    def test_missing_name(self):
+        with pytest.raises(PrototxtError, match="missing 'name'"):
+            parse_prototxt('layer { type: "ReLU" }')
+
+    def test_missing_type(self):
+        with pytest.raises(PrototxtError, match="missing 'type'"):
+            parse_prototxt('layer { name: "x" }')
+
+    def test_dangling_bottom_rejected(self):
+        with pytest.raises(ValueError, match="no earlier layer"):
+            parse_prototxt(
+                'layer { name: "r" type: "ReLU" bottom: "ghost" top: "r" }'
+            )
+
+    def test_loss_weight(self):
+        spec = parse_prototxt("""
+        layer { name: "in" type: "Input" top: "d"
+                input_param { shape { dim: 1 } } }
+        layer { name: "l" type: "Softmax" bottom: "d" top: "s"
+                loss_weight: 0.5 }
+        """)
+        assert spec.layer("l").loss_weight == 0.5
+
+
+class TestZooPrototxts:
+    def test_lenet_parses(self):
+        from repro.zoo import lenet_spec
+        spec = lenet_spec()
+        train = spec.layers_for_phase("TRAIN")
+        # paper Fig 3: 9 layers (data, conv1, pool1, conv2, pool2, ip1,
+        # relu1, ip2, loss)
+        assert len(train) == 9
+
+    def test_cifar_parses(self):
+        from repro.zoo import cifar10_spec
+        spec = cifar10_spec()
+        train = spec.layers_for_phase("TRAIN")
+        # paper Fig 3: 14 layers
+        assert len(train) == 14
+        names = [s.name for s in train]
+        assert "norm1" in names and "norm2" in names

@@ -1,0 +1,158 @@
+"""Unit tests for the Convolution layer."""
+
+import numpy as np
+import pytest
+
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.framework.net_spec import LayerSpec
+
+from repro.testing import make_blob, spec
+
+
+def conv_layer(**params):
+    defaults = dict(num_output=2, kernel_size=3, filler_seed=11,
+                    weight_filler={"type": "gaussian", "std": 0.5},
+                    bias_filler={"type": "constant", "value": 0.1})
+    defaults.update(params)
+    return create_layer(spec("conv", "Convolution", **defaults))
+
+
+def reference_conv(x, weights, bias, stride=1, pad=0):
+    """Direct convolution, no im2col."""
+    n, c, h, w = x.shape
+    k, _, kh, kw = weights.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, k, oh, ow), dtype=np.float64)
+    for s in range(n):
+        for f in range(k):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[s, :, i * stride : i * stride + kh,
+                              j * stride : j * stride + kw]
+                    out[s, f, i, j] = np.sum(patch * weights[f]) + bias[f]
+    return out
+
+
+class TestForward:
+    def test_matches_direct_convolution(self, rng):
+        layer = conv_layer()
+        bottom = [make_blob((2, 3, 6, 6), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        expected = reference_conv(
+            bottom[0].data, layer.blobs[0].data, layer.blobs[1].data
+        )
+        assert top[0].shape == (2, 2, 4, 4)
+        assert np.allclose(top[0].data, expected, atol=1e-4)
+
+    def test_stride_and_pad(self, rng):
+        layer = conv_layer(stride=2, pad=1)
+        bottom = [make_blob((1, 2, 5, 5), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        expected = reference_conv(
+            bottom[0].data, layer.blobs[0].data, layer.blobs[1].data,
+            stride=2, pad=1,
+        )
+        assert np.allclose(top[0].data, expected, atol=1e-4)
+
+    def test_rectangular_kernel(self, rng):
+        layer = conv_layer(kernel_h=3, kernel_w=2)
+        bottom = [make_blob((1, 1, 5, 5), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert top[0].shape == (1, 2, 3, 4)
+
+    def test_no_bias(self, rng):
+        layer = conv_layer(bias_term=False)
+        bottom = [make_blob((1, 1, 4, 4), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        assert len(layer.blobs) == 1
+
+    def test_grouped_convolution(self, rng):
+        layer = conv_layer(num_output=4, group=2)
+        bottom = [make_blob((1, 4, 5, 5), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        # group 0 outputs depend only on channels 0-1
+        x2 = Blob((1, 4, 5, 5), name="x2")
+        x2.set_data(bottom[0].flat_data)
+        x2.data[0, 2:] = 0  # zero group-1 channels
+        x2.mark_host_data_dirty()
+        top2 = [Blob()]
+        out1 = top[0].data.copy()
+        layer.forward([x2], top2)
+        assert np.allclose(out1[0, :2], top2[0].data[0, :2], atol=1e-5)
+
+    def test_group_divisibility_error(self, rng):
+        layer = conv_layer(num_output=3, group=2)
+        with pytest.raises(ValueError, match="group"):
+            layer.setup([make_blob((1, 4, 5, 5), rng=rng)], [Blob()])
+
+    def test_chunked_forward_equals_full(self, rng):
+        layer = conv_layer()
+        bottom = [make_blob((4, 3, 6, 6), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        full = top[0].data.copy()
+        top[0].zero_data()
+        for s in range(4):
+            layer.forward_chunk(bottom, top, s, s + 1)
+        assert np.array_equal(top[0].data, full)
+
+    def test_needs_4d_bottom(self, rng):
+        layer = conv_layer()
+        with pytest.raises(ValueError, match="4-d"):
+            layer.setup([make_blob((2, 3), rng=rng)], [Blob()])
+
+
+class TestBackward:
+    def test_gradient_check(self, rng):
+        from repro.framework.gradient_check import check_gradient
+        layer = conv_layer(num_output=2, kernel_size=2)
+        bottom = [make_blob((2, 2, 4, 4), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+    def test_gradient_check_stride_pad(self, rng):
+        from repro.framework.gradient_check import check_gradient
+        layer = conv_layer(num_output=2, kernel_size=3, stride=2, pad=1)
+        bottom = [make_blob((2, 1, 5, 5), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+    def test_param_grads_accumulate(self, rng):
+        layer = conv_layer()
+        bottom = [make_blob((2, 3, 6, 6), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        top[0].flat_diff[:] = 1.0
+        for blob in layer.blobs:
+            blob.zero_diff()
+        layer.backward(top, [True], bottom)
+        once = layer.blobs[0].flat_diff.copy()
+        layer.backward(top, [True], bottom)
+        assert np.allclose(layer.blobs[0].flat_diff, 2 * once, rtol=1e-5)
+
+    def test_propagate_down_false_skips_bottom(self, rng):
+        layer = conv_layer()
+        bottom = [make_blob((1, 3, 5, 5), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        top[0].flat_diff[:] = 1.0
+        bottom[0].flat_diff[:] = 7.0
+        for blob in layer.blobs:
+            blob.zero_diff()
+        layer.backward(top, [False], bottom)
+        assert np.allclose(bottom[0].flat_diff, 7.0)  # untouched
+        assert layer.blobs[0].asum_diff() > 0  # weights still updated

@@ -1,0 +1,200 @@
+"""Unit tests for the data layers and Accuracy/Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayBatchSource
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.framework.net_spec import LayerSpec
+from repro.testing import make_blob, spec
+
+
+def tiny_source(n=6):
+    rng = np.random.default_rng(0)
+    images = rng.random((n, 2, 3, 3)).astype(np.float32)
+    labels = (np.arange(n) % 3).astype(np.int64)
+    return ArrayBatchSource(images, labels)
+
+
+class TestDataLayer:
+    def make(self, batch_size=4, **extra):
+        s = spec("data", "Data", batch_size=batch_size, **extra)
+        s.params["source_object"] = tiny_source()
+        return create_layer(s)
+
+    def test_produces_batch(self):
+        layer = self.make()
+        top = [Blob(), Blob()]
+        layer.setup([], top)
+        layer.forward([], top)
+        assert top[0].shape == (4, 2, 3, 3)
+        assert top[1].shape == (4,)
+
+    def test_serial_space(self):
+        layer = self.make()
+        top = [Blob(), Blob()]
+        layer.setup([], top)
+        assert layer.forward_space([], top) == 1  # data layers run serially
+
+    def test_wraps_around(self):
+        layer = self.make(batch_size=4)
+        top = [Blob(), Blob()]
+        layer.setup([], top)
+        layer.forward([], top)
+        layer.forward([], top)  # 8 > 6 samples: wraps
+        assert layer.source.epochs_completed == 1
+
+    def test_scale_and_mean(self):
+        s = spec("data", "Data", batch_size=2, scale=2.0, mean_value=0.5)
+        s.params["source_object"] = tiny_source()
+        layer = create_layer(s)
+        top = [Blob(), Blob()]
+        layer.setup([], top)
+        layer.forward([], top)
+        raw = tiny_source().next_batch(2)[0]
+        assert np.allclose(top[0].data, (raw - 0.5) * 2.0, atol=1e-6)
+
+    def test_invalid_batch_size(self):
+        s = spec("data", "Data", batch_size=0)
+        s.params["source_object"] = tiny_source()
+        with pytest.raises(ValueError, match="batch_size"):
+            create_layer(s).setup([], [Blob(), Blob()])
+
+    def test_unknown_named_source(self):
+        layer = create_layer(spec("data", "Data", batch_size=2,
+                                  source="no_such_source"))
+        with pytest.raises(KeyError, match="unknown data source"):
+            layer.setup([], [Blob(), Blob()])
+
+
+class TestMemoryData:
+    def test_serves_batches(self, rng):
+        layer = create_layer(spec("m", "MemoryData", batch_size=2,
+                                  channels=1, height=2, width=2))
+        top = [Blob(), Blob()]
+        layer.setup([], top)
+        images = rng.random((2, 1, 2, 2)).astype(np.float32)
+        layer.set_batch(images, np.array([0, 1]))
+        layer.forward([], top)
+        assert np.allclose(top[0].data, images)
+        assert np.allclose(top[1].data, [0, 1])
+
+    def test_requires_set_batch(self):
+        layer = create_layer(spec("m", "MemoryData", batch_size=1,
+                                  channels=1, height=1, width=1))
+        top = [Blob()]
+        layer.setup([], top)
+        with pytest.raises(RuntimeError, match="set_batch"):
+            layer.forward([], top)
+
+    def test_shape_validation(self):
+        layer = create_layer(spec("m", "MemoryData", batch_size=2,
+                                  channels=1, height=2, width=2))
+        layer.setup([], [Blob()])
+        with pytest.raises(ValueError, match="batch shape"):
+            layer.set_batch(np.zeros((2, 1, 3, 3), np.float32))
+
+
+class TestInputLayer:
+    def test_shapes_top(self):
+        layer = create_layer(spec("in", "Input",
+                                  shape={"dim": [2, 3, 4, 4]}))
+        top = [Blob()]
+        layer.setup([], top)
+        assert top[0].shape == (2, 3, 4, 4)
+
+    def test_multiple_shapes(self):
+        layer = create_layer(spec(
+            "in", "Input", shape=[{"dim": [2, 3]}, {"dim": [2]}]
+        ))
+        tops = [Blob(), Blob()]
+        layer.setup([], tops)
+        assert tops[0].shape == (2, 3) and tops[1].shape == (2,)
+
+
+class TestAccuracy:
+    def run_layer(self, scores, labels, **params):
+        layer = create_layer(spec("acc", "Accuracy", **params))
+        s = make_blob(scores.shape, values=scores)
+        l = make_blob((scores.shape[0],), values=labels)
+        top = [Blob()]
+        layer.setup([s, l], top)
+        layer.forward([s, l], top)
+        return float(top[0].flat_data[0])
+
+    def test_top1(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]], np.float32)
+        assert self.run_layer(scores, [0, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_top_k(self):
+        scores = np.array([[3.0, 2.0, 1.0, 0.0]], np.float32)
+        assert self.run_layer(scores, [2], top_k=3) == 1.0
+        assert self.run_layer(scores, [3], top_k=3) == 0.0
+
+    def test_ignore_label(self):
+        scores = np.array([[1.0, 0.0], [1.0, 0.0]], np.float32)
+        acc = self.run_layer(scores, [0, -1], ignore_label=-1)
+        assert acc == 1.0
+
+    def test_top_k_exceeds_classes(self):
+        layer = create_layer(spec("acc", "Accuracy", top_k=5))
+        with pytest.raises(ValueError, match="top_k"):
+            layer.setup([make_blob((2, 3)), make_blob((2,))], [Blob()])
+
+    def test_no_backward(self):
+        layer = create_layer(spec("acc", "Accuracy"))
+        with pytest.raises(RuntimeError, match="no backward"):
+            layer.backward_chunk()
+
+
+class TestDropout:
+    def make(self, ratio=0.5, train=True):
+        layer = create_layer(spec("drop", "Dropout", dropout_ratio=ratio,
+                                  seed=3))
+        layer.train_mode = train
+        return layer
+
+    def test_test_mode_identity(self, rng):
+        layer = self.make(train=False)
+        bottom = [make_blob((100,), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.array_equal(top[0].data, bottom[0].data)
+
+    def test_train_mode_zeroes_and_scales(self):
+        layer = self.make(ratio=0.5)
+        bottom = [make_blob((1000,), values=np.ones(1000))]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        values = top[0].flat_data
+        kept = values[values != 0]
+        assert np.allclose(kept, 2.0)  # inverted scaling 1/(1-0.5)
+        assert 0.3 < (values == 0).mean() < 0.7
+
+    def test_backward_uses_same_mask(self):
+        layer = self.make(ratio=0.5)
+        bottom = [make_blob((100,), values=np.ones(100))]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        top[0].flat_diff[:] = 1.0
+        layer.backward(top, [True], bottom)
+        # gradient zero exactly where output was zeroed
+        assert np.array_equal(bottom[0].flat_diff == 0,
+                              top[0].flat_data == 0)
+
+    def test_expectation_preserved(self):
+        layer = self.make(ratio=0.3)
+        bottom = [make_blob((20000,), values=np.ones(20000))]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert top[0].flat_data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_ratio(self):
+        layer = create_layer(spec("drop", "Dropout", dropout_ratio=1.0))
+        with pytest.raises(ValueError, match="dropout_ratio"):
+            layer.setup([make_blob((4,))], [Blob()])

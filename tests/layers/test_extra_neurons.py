@@ -1,0 +1,116 @@
+"""Unit tests for AbsVal, Exp, Log and BNLL layers."""
+
+import numpy as np
+import pytest
+
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.framework.gradient_check import check_gradient
+from repro.testing import make_blob, spec
+
+
+class TestAbsVal:
+    def test_forward(self):
+        layer = create_layer(spec("a", "AbsVal"))
+        bottom = [make_blob((4,), values=[-2, -0.5, 0, 3])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [2, 0.5, 0, 3])
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("a", "AbsVal"))
+        values = rng.standard_normal(12)
+        values[np.abs(values) < 0.2] += 0.5  # keep away from the kink
+        check_gradient(layer, [make_blob((3, 4), values=values)], [Blob()])
+
+
+class TestExp:
+    def test_default_is_natural_exp(self, rng):
+        layer = create_layer(spec("e", "Exp"))
+        bottom = [make_blob((6,), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, np.exp(bottom[0].data), rtol=1e-5)
+
+    def test_base_two(self):
+        layer = create_layer(spec("e", "Exp", base=2.0))
+        bottom = [make_blob((3,), values=[0, 1, 3])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [1, 2, 8], rtol=1e-5)
+
+    def test_scale_shift(self):
+        layer = create_layer(spec("e", "Exp", scale=2.0, shift=1.0))
+        bottom = [make_blob((1,), values=[0.5])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert top[0].flat_data[0] == pytest.approx(np.exp(2.0), rel=1e-5)
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("e", "Exp", scale=0.5))
+        check_gradient(layer, [make_blob((3, 3), rng=rng)], [Blob()])
+
+    def test_invalid_base(self):
+        layer = create_layer(spec("e", "Exp", base=-2.0))
+        with pytest.raises(ValueError, match="base"):
+            layer.setup([make_blob((2,))], [Blob()])
+
+
+class TestLog:
+    def test_natural_log(self):
+        layer = create_layer(spec("l", "Log"))
+        bottom = [make_blob((3,), values=[1.0, np.e, np.e**2])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [0, 1, 2], atol=1e-5)
+
+    def test_base_ten(self):
+        layer = create_layer(spec("l", "Log", base=10.0))
+        bottom = [make_blob((2,), values=[1.0, 100.0])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [0, 2], atol=1e-5)
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("l", "Log", shift=3.0))
+        values = np.abs(rng.standard_normal(9)) + 0.5
+        check_gradient(layer, [make_blob((3, 3), values=values)], [Blob()])
+
+
+class TestBNLL:
+    def test_softplus_values(self):
+        layer = create_layer(spec("b", "BNLL"))
+        bottom = [make_blob((3,), values=[0.0, 10.0, -10.0])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert top[0].flat_data[0] == pytest.approx(np.log(2), rel=1e-5)
+        assert top[0].flat_data[1] == pytest.approx(10.0, abs=1e-3)
+        assert top[0].flat_data[2] == pytest.approx(0.0, abs=1e-3)
+
+    def test_stable_for_large_inputs(self):
+        layer = create_layer(spec("b", "BNLL"))
+        bottom = [make_blob((2,), values=[500.0, -500.0])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        with np.errstate(over="raise"):
+            layer.forward(bottom, top)
+        assert np.isfinite(top[0].data).all()
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("b", "BNLL"))
+        check_gradient(layer, [make_blob((4, 3), rng=rng)], [Blob()])
+
+    def test_always_positive(self, rng):
+        layer = create_layer(spec("b", "BNLL"))
+        bottom = [make_blob((20,), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert (top[0].data >= 0).all()

@@ -1,0 +1,92 @@
+"""Unit tests for the LRN layer."""
+
+import numpy as np
+import pytest
+
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.framework.gradient_check import check_gradient
+from repro.testing import make_blob, spec
+
+
+def lrn_layer(**params):
+    defaults = dict(local_size=3, alpha=0.5, beta=0.75, k=1.0)
+    defaults.update(params)
+    return create_layer(spec("norm", "LRN", **defaults))
+
+
+def reference_lrn(x, local_size, alpha, beta, k):
+    n, c, h, w = x.shape
+    half = local_size // 2
+    out = np.zeros_like(x, dtype=np.float64)
+    for s in range(n):
+        for ch in range(c):
+            lo, hi = max(0, ch - half), min(c, ch + half + 1)
+            window = (x[s, lo:hi].astype(np.float64) ** 2).sum(axis=0)
+            scale = k + (alpha / local_size) * window
+            out[s, ch] = x[s, ch] * scale ** (-beta)
+    return out
+
+
+class TestForward:
+    def test_matches_reference(self, rng):
+        layer = lrn_layer()
+        bottom = [make_blob((2, 5, 3, 3), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        expected = reference_lrn(bottom[0].data, 3, 0.5, 0.75, 1.0)
+        assert np.allclose(top[0].data, expected, atol=1e-4)
+
+    def test_cifar_parameters(self, rng):
+        layer = lrn_layer(local_size=3, alpha=5e-5, beta=0.75)
+        bottom = [make_blob((2, 32, 4, 4), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        expected = reference_lrn(bottom[0].data, 3, 5e-5, 0.75, 1.0)
+        assert np.allclose(top[0].data, expected, atol=1e-4)
+
+    def test_single_channel(self, rng):
+        layer = lrn_layer(local_size=1)
+        bottom = [make_blob((1, 1, 2, 2), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        expected = reference_lrn(bottom[0].data, 1, 0.5, 0.75, 1.0)
+        assert np.allclose(top[0].data, expected, atol=1e-5)
+
+    def test_chunked_equals_full(self, rng):
+        layer = lrn_layer()
+        bottom = [make_blob((4, 6, 3, 3), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        full = top[0].data.copy()
+        top[0].zero_data()
+        layer.forward_chunk(bottom, top, 0, 1)
+        layer.forward_chunk(bottom, top, 1, 4)
+        assert np.array_equal(top[0].data, full)
+
+
+class TestBackward:
+    def test_gradient_check(self, rng):
+        layer = lrn_layer(alpha=0.9, beta=0.6)
+        bottom = [make_blob((2, 4, 2, 2), rng=rng)]
+        check_gradient(layer, bottom, [Blob()], step=1e-2, threshold=2e-2)
+
+
+class TestValidation:
+    def test_even_local_size(self):
+        with pytest.raises(ValueError, match="odd"):
+            lrn_layer(local_size=4).setup([make_blob((1, 2, 2, 2))], [Blob()])
+
+    def test_within_channel_unsupported(self):
+        with pytest.raises(ValueError, match="ACROSS_CHANNELS"):
+            lrn_layer(norm_region="WITHIN_CHANNEL").setup(
+                [make_blob((1, 2, 2, 2))], [Blob()]
+            )
+
+    def test_needs_4d(self):
+        with pytest.raises(ValueError, match="4-d"):
+            lrn_layer().setup([make_blob((2, 3))], [Blob()])

@@ -1,0 +1,126 @@
+"""Unit tests for the element-wise neuron layers."""
+
+import numpy as np
+import pytest
+
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.framework.gradient_check import check_gradient
+from repro.testing import make_blob, spec
+
+
+class TestReLU:
+    def test_forward(self):
+        layer = create_layer(spec("r", "ReLU"))
+        bottom = [make_blob((4,), values=[-1, 0, 2, -3])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [0, 0, 2, 0])
+
+    def test_negative_slope(self):
+        layer = create_layer(spec("r", "ReLU", negative_slope=0.1))
+        bottom = [make_blob((3,), values=[-10, 0, 5])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [-1, 0, 5])
+
+    def test_in_place(self):
+        layer = create_layer(spec("r", "ReLU"))
+        blob = make_blob((3,), values=[-1, 2, -3])
+        layer.setup([blob], [blob])
+        layer.forward([blob], [blob])
+        assert np.allclose(blob.data, [0, 2, 0])
+
+    def test_in_place_backward(self):
+        layer = create_layer(spec("r", "ReLU"))
+        blob = make_blob((3,), values=[-1, 2, 3])
+        layer.setup([blob], [blob])
+        layer.forward([blob], [blob])
+        blob.flat_diff[:] = [1, 1, 1]
+        layer.backward([blob], [True], [blob])
+        assert np.allclose(blob.flat_diff, [0, 1, 1])
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("r", "ReLU"))
+        # keep values away from the kink at 0
+        values = rng.standard_normal(24)
+        values[np.abs(values) < 0.2] += 0.5
+        bottom = [make_blob((2, 3, 2, 2), values=values)]
+        check_gradient(layer, bottom, [Blob()], step=1e-2)
+
+    def test_gradient_leaky(self, rng):
+        layer = create_layer(spec("r", "ReLU", negative_slope=0.25))
+        values = rng.standard_normal(12)
+        values[np.abs(values) < 0.2] += 0.5
+        bottom = [make_blob((3, 4), values=values)]
+        check_gradient(layer, bottom, [Blob()], step=1e-2)
+
+    def test_fully_coalesced_space(self):
+        layer = create_layer(spec("r", "ReLU"))
+        bottom = [make_blob((2, 3, 4, 5))]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        assert layer.forward_space(bottom, top) == 120
+
+
+class TestSigmoid:
+    def test_forward_values(self):
+        layer = create_layer(spec("s", "Sigmoid"))
+        bottom = [make_blob((3,), values=[0, 100, -100])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [0.5, 1.0, 0.0], atol=1e-6)
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("s", "Sigmoid"))
+        bottom = [make_blob((3, 4), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+    def test_no_overflow_warnings(self):
+        layer = create_layer(spec("s", "Sigmoid"))
+        bottom = [make_blob((2,), values=[-500, 500])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        with np.errstate(over="raise"):
+            layer.forward(bottom, top)
+
+
+class TestTanH:
+    def test_forward(self):
+        layer = create_layer(spec("t", "TanH"))
+        bottom = [make_blob((2,), values=[0.0, 1.0])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [0.0, np.tanh(1.0)], atol=1e-6)
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("t", "TanH"))
+        bottom = [make_blob((4, 3), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+
+class TestPower:
+    def test_identity_default(self, rng):
+        layer = create_layer(spec("p", "Power"))
+        bottom = [make_blob((5,), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, bottom[0].data)
+
+    def test_affine_square(self):
+        layer = create_layer(spec("p", "Power", power=2.0, scale=2.0, shift=1.0))
+        bottom = [make_blob((2,), values=[0.0, 1.0])]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data, [1.0, 9.0])
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("p", "Power", power=2.0, scale=0.5, shift=2.0))
+        bottom = [make_blob((3, 3), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])

@@ -1,0 +1,173 @@
+"""Unit tests for Softmax, SoftmaxWithLoss and EuclideanLoss."""
+
+import numpy as np
+import pytest
+
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.framework.gradient_check import check_gradient
+from repro.testing import make_blob, spec
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        layer = create_layer(spec("sm", "Softmax"))
+        bottom = [make_blob((4, 6), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_shift_invariance(self, rng):
+        layer = create_layer(spec("sm", "Softmax"))
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        b1, b2 = [make_blob((2, 5), values=x)], [make_blob((2, 5), values=x + 100)]
+        t1, t2 = [Blob()], [Blob()]
+        layer.setup(b1, t1)
+        layer.forward(b1, t1)
+        layer.forward(b2, t2)
+        assert np.allclose(t1[0].data, t2[0].data, atol=1e-5)
+
+    def test_matches_scipy(self, rng):
+        from scipy.special import softmax as scipy_softmax
+        layer = create_layer(spec("sm", "Softmax"))
+        bottom = [make_blob((3, 7), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data,
+                           scipy_softmax(bottom[0].data, axis=1), atol=1e-5)
+
+    def test_spatial_softmax(self, rng):
+        layer = create_layer(spec("sm", "Softmax"))
+        bottom = [make_blob((2, 4, 3, 3), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert np.allclose(top[0].data.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("sm", "Softmax"))
+        bottom = [make_blob((3, 4), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+
+class TestSoftmaxWithLoss:
+    def make(self, rng, batch=4, classes=5, **params):
+        layer = create_layer(spec("loss", "SoftmaxWithLoss", **params))
+        scores = make_blob((batch, classes), rng=rng)
+        labels = make_blob((batch,),
+                           values=np.arange(batch) % classes)
+        return layer, [scores, labels]
+
+    def test_uniform_scores_give_log_classes(self):
+        layer = create_layer(spec("loss", "SoftmaxWithLoss"))
+        scores = make_blob((3, 10), values=np.zeros(30))
+        labels = make_blob((3,), values=[0, 5, 9])
+        top = [Blob()]
+        layer.setup([scores, labels], top)
+        loss = layer.forward([scores, labels], top)
+        assert loss == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        layer = create_layer(spec("loss", "SoftmaxWithLoss"))
+        scores_values = np.full((2, 3), -50.0)
+        scores_values[0, 1] = 50.0
+        scores_values[1, 2] = 50.0
+        scores = make_blob((2, 3), values=scores_values)
+        labels = make_blob((2,), values=[1, 2])
+        top = [Blob()]
+        layer.setup([scores, labels], top)
+        assert layer.forward([scores, labels], top) < 1e-4
+
+    def test_default_loss_weight(self, rng):
+        layer, bottom = self.make(rng)
+        layer.setup(bottom, [Blob()])
+        assert layer.loss_weights == [1.0]
+
+    def test_backward_is_prob_minus_onehot(self, rng):
+        layer, bottom = self.make(rng, batch=3, classes=4)
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        top[0].flat_diff[0] = 1.0
+        layer.backward(top, [True, False], bottom)
+        prob = layer.prob
+        onehot = np.zeros_like(prob)
+        labels = bottom[1].flat_data.astype(int)
+        onehot[np.arange(3), labels] = 1.0
+        assert np.allclose(bottom[0].diff, (prob - onehot) / 3.0, atol=1e-5)
+
+    def test_gradient_check(self, rng):
+        layer, bottom = self.make(rng, batch=3, classes=4)
+        check_gradient(layer, bottom, [Blob()], check_bottom=[0])
+
+    def test_label_out_of_range(self, rng):
+        layer = create_layer(spec("loss", "SoftmaxWithLoss"))
+        scores = make_blob((2, 3), rng=rng)
+        labels = make_blob((2,), values=[0, 7])
+        top = [Blob()]
+        layer.setup([scores, labels], top)
+        with pytest.raises(ValueError, match="label out of range"):
+            layer.forward([scores, labels], top)
+
+    def test_ignore_label(self, rng):
+        layer = create_layer(spec("loss", "SoftmaxWithLoss", ignore_label=-1))
+        scores = make_blob((4, 3), rng=rng)
+        labels = make_blob((4,), values=[0, -1, 2, -1])
+        top = [Blob()]
+        layer.setup([scores, labels], top)
+        layer.forward([scores, labels], top)
+        top[0].flat_diff[0] = 1.0
+        layer.backward(top, [True, False], [scores, labels])
+        d = scores.diff
+        assert np.allclose(d[1], 0) and np.allclose(d[3], 0)
+        assert np.abs(d[0]).sum() > 0
+
+    def test_cannot_backprop_to_labels(self, rng):
+        layer, bottom = self.make(rng)
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        top[0].flat_diff[0] = 1.0
+        with pytest.raises(ValueError, match="labels"):
+            layer.backward(top, [True, True], bottom)
+
+    def test_thread_count_invariant_finalize(self, rng):
+        """Chunked forward in any split gives the bitwise-same loss."""
+        layer, bottom = self.make(rng, batch=6, classes=5)
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.reshape(bottom, top)
+        layer.forward_chunk(bottom, top, 0, 6)
+        layer.forward_finalize(bottom, top)
+        full = float(top[0].flat_data[0])
+        for splits in ([2, 6], [1, 3, 6], [5, 6]):
+            layer.reshape(bottom, top)
+            lo = 0
+            for hi in splits:
+                layer.forward_chunk(bottom, top, lo, hi)
+                lo = hi
+            layer.forward_finalize(bottom, top)
+            assert float(top[0].flat_data[0]) == full
+
+
+class TestEuclideanLoss:
+    def test_value(self):
+        layer = create_layer(spec("l2", "EuclideanLoss"))
+        a = make_blob((2, 3), values=[1, 2, 3, 4, 5, 6])
+        b = make_blob((2, 3), values=[1, 2, 3, 4, 5, 8])
+        top = [Blob()]
+        layer.setup([a, b], top)
+        loss = layer.forward([a, b], top)
+        assert loss == pytest.approx(0.5 * 4 / 2)  # ||diff||^2/2 per batch
+
+    def test_gradient_both_bottoms(self, rng):
+        layer = create_layer(spec("l2", "EuclideanLoss"))
+        bottom = [make_blob((3, 4), rng=rng), make_blob((3, 4), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+    def test_count_mismatch(self, rng):
+        layer = create_layer(spec("l2", "EuclideanLoss"))
+        with pytest.raises(ValueError, match="count"):
+            layer.setup([make_blob((2, 3)), make_blob((2, 4))], [Blob()])

@@ -1,0 +1,164 @@
+"""Unit tests for Flatten, Split, Concat and Eltwise layers."""
+
+import numpy as np
+import pytest
+
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.framework.gradient_check import check_gradient
+from repro.testing import make_blob, spec
+
+
+class TestFlatten:
+    def test_shape(self, rng):
+        layer = create_layer(spec("f", "Flatten"))
+        bottom = [make_blob((2, 3, 4, 5), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert top[0].shape == (2, 60)
+        assert np.array_equal(top[0].flat_data, bottom[0].flat_data)
+
+    def test_axis(self, rng):
+        layer = create_layer(spec("f", "Flatten", axis=2))
+        bottom = [make_blob((2, 3, 4, 5), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        assert top[0].shape == (2, 3, 20)
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("f", "Flatten"))
+        check_gradient(layer, [make_blob((2, 3, 2), rng=rng)], [Blob()])
+
+
+class TestSplit:
+    def test_forward_copies(self, rng):
+        layer = create_layer(spec("s", "Split"))
+        bottom = [make_blob((2, 3), rng=rng)]
+        top = [Blob(), Blob(), Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        for t in top:
+            assert np.array_equal(t.flat_data, bottom[0].flat_data)
+
+    def test_backward_sums(self, rng):
+        layer = create_layer(spec("s", "Split"))
+        bottom = [make_blob((4,), rng=rng)]
+        top = [Blob(), Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        top[0].flat_diff[:] = [1, 2, 3, 4]
+        top[1].flat_diff[:] = [10, 20, 30, 40]
+        layer.backward(top, [True], bottom)
+        assert np.allclose(bottom[0].flat_diff, [11, 22, 33, 44])
+
+
+class TestConcat:
+    def test_channel_concat(self, rng):
+        layer = create_layer(spec("c", "Concat"))
+        a = make_blob((2, 3, 2, 2), rng=rng)
+        b = make_blob((2, 5, 2, 2), rng=rng)
+        top = [Blob()]
+        layer.setup([a, b], top)
+        layer.forward([a, b], top)
+        assert top[0].shape == (2, 8, 2, 2)
+        assert np.allclose(top[0].data[:, :3], a.data)
+        assert np.allclose(top[0].data[:, 3:], b.data)
+
+    def test_backward_slices(self, rng):
+        layer = create_layer(spec("c", "Concat"))
+        a, b = make_blob((2, 2), rng=rng), make_blob((2, 3), rng=rng)
+        top = [Blob()]
+        layer.setup([a, b], top)
+        layer.forward([a, b], top)
+        top[0].flat_diff[:] = np.arange(10, dtype=np.float32)
+        layer.backward(top, [True, True], [a, b])
+        grid = np.arange(10, dtype=np.float32).reshape(2, 5)
+        assert np.allclose(a.diff, grid[:, :2])
+        assert np.allclose(b.diff, grid[:, 2:])
+
+    def test_gradient(self, rng):
+        layer = create_layer(spec("c", "Concat"))
+        bottom = [make_blob((2, 2, 2), rng=rng), make_blob((2, 3, 2), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+    def test_mismatched_non_concat_axis(self, rng):
+        layer = create_layer(spec("c", "Concat"))
+        with pytest.raises(ValueError, match="non-concat axis"):
+            layer.setup([make_blob((2, 2, 2)), make_blob((3, 2, 2))], [Blob()])
+
+    def test_rank_mismatch(self, rng):
+        layer = create_layer(spec("c", "Concat"))
+        with pytest.raises(ValueError, match="rank"):
+            layer.setup([make_blob((2, 2)), make_blob((2, 2, 2))], [Blob()])
+
+
+class TestEltwise:
+    def test_sum_with_coeffs(self):
+        layer = create_layer(spec("e", "Eltwise", operation="SUM",
+                                  coeff=[1.0, -1.0]))
+        a = make_blob((3,), values=[5, 6, 7])
+        b = make_blob((3,), values=[1, 2, 3])
+        top = [Blob()]
+        layer.setup([a, b], top)
+        layer.forward([a, b], top)
+        assert np.allclose(top[0].data, [4, 4, 4])
+
+    def test_prod(self):
+        layer = create_layer(spec("e", "Eltwise", operation="PROD"))
+        a = make_blob((2,), values=[2, 3])
+        b = make_blob((2,), values=[4, 5])
+        top = [Blob()]
+        layer.setup([a, b], top)
+        layer.forward([a, b], top)
+        assert np.allclose(top[0].data, [8, 15])
+
+    def test_max_routing(self):
+        layer = create_layer(spec("e", "Eltwise", operation="MAX"))
+        a = make_blob((3,), values=[1, 9, 2])
+        b = make_blob((3,), values=[5, 3, 2])
+        top = [Blob()]
+        layer.setup([a, b], top)
+        layer.forward([a, b], top)
+        assert np.allclose(top[0].data, [5, 9, 2])
+        top[0].flat_diff[:] = 1.0
+        layer.backward(top, [True, True], [a, b])
+        assert np.allclose(a.flat_diff, [0, 1, 1])  # tie at idx 2 -> first
+        assert np.allclose(b.flat_diff, [1, 0, 0])
+
+    def test_sum_gradient(self, rng):
+        layer = create_layer(spec("e", "Eltwise", operation="SUM",
+                                  coeff=[2.0, -0.5]))
+        bottom = [make_blob((2, 3), rng=rng), make_blob((2, 3), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+    def test_prod_gradient(self, rng):
+        layer = create_layer(spec("e", "Eltwise", operation="PROD"))
+        bottom = [make_blob((2, 3), rng=rng), make_blob((2, 3), rng=rng)]
+        check_gradient(layer, bottom, [Blob()])
+
+    def test_three_bottoms(self, rng):
+        layer = create_layer(spec("e", "Eltwise", operation="SUM"))
+        bottoms = [make_blob((4,), rng=rng) for _ in range(3)]
+        top = [Blob()]
+        layer.setup(bottoms, top)
+        layer.forward(bottoms, top)
+        expected = sum(b.data for b in bottoms)
+        assert np.allclose(top[0].data, expected, atol=1e-6)
+
+    def test_shape_mismatch(self):
+        layer = create_layer(spec("e", "Eltwise"))
+        with pytest.raises(ValueError, match="shape"):
+            layer.setup([make_blob((2,)), make_blob((3,))], [Blob()])
+
+    def test_coeff_count_mismatch(self):
+        layer_spec = spec("e", "Eltwise", coeff=[1.0])
+        layer = create_layer(layer_spec)
+        with pytest.raises(ValueError, match="coeffs"):
+            layer.setup([make_blob((2,)), make_blob((2,))], [Blob()])
+
+    def test_unknown_operation(self):
+        layer = create_layer(spec("e", "Eltwise", operation="DIV"))
+        with pytest.raises(ValueError, match="unknown operation"):
+            layer.setup([make_blob((2,)), make_blob((2,))], [Blob()])

@@ -1,0 +1,47 @@
+"""Property-based tests for Blob indexing (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.blob import Blob
+
+shape_st = st.lists(st.integers(1, 8), min_size=1, max_size=4)
+
+
+class TestOffsetProperties:
+    @given(shape=shape_st, data=st.data())
+    def test_offset_equals_ravel_multi_index(self, shape, data):
+        blob = Blob(shape)
+        idx = tuple(
+            data.draw(st.integers(0, d - 1)) for d in shape
+        )
+        assert blob.offset(idx) == int(np.ravel_multi_index(idx, shape))
+
+    @given(shape=shape_st)
+    @settings(max_examples=40)
+    def test_offset_is_injective_and_dense(self, shape):
+        blob = Blob(shape)
+        offsets = {blob.offset(idx) for idx in np.ndindex(*shape)}
+        assert offsets == set(range(blob.count))
+
+    @given(shape=shape_st, data=st.data())
+    def test_flat_view_consistency(self, shape, data):
+        """Writing via the shaped view is visible at the flat offset."""
+        blob = Blob(shape)
+        idx = tuple(data.draw(st.integers(0, d - 1)) for d in shape)
+        blob.data[idx] = 42.0
+        assert blob.flat_data[blob.offset(idx)] == 42.0
+
+
+class TestReshapeProperties:
+    @given(first=shape_st, second=shape_st)
+    @settings(max_examples=40)
+    def test_reshape_preserves_prefix(self, first, second):
+        blob = Blob(first)
+        blob.flat_data[:] = np.arange(blob.count)
+        old = blob.flat_data.copy()
+        blob.reshape(second)
+        kept = min(len(old), blob.count)
+        if blob.count <= len(old):  # no reallocation
+            assert np.array_equal(blob.flat_data[:kept], old[:kept])

@@ -1,0 +1,49 @@
+"""Property-based tests for loop coalescing (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalesce import CoalescedSpace
+
+dims_strategy = st.lists(st.integers(1, 12), min_size=1, max_size=4)
+
+
+class TestCoalesceProperties:
+    @given(dims=dims_strategy)
+    def test_size_is_product(self, dims):
+        space = CoalescedSpace(dims)
+        product = 1
+        for d in dims:
+            product *= d
+        assert space.size == product
+
+    @given(dims=dims_strategy, data=st.data())
+    def test_bijection_round_trip(self, dims, data):
+        space = CoalescedSpace(dims)
+        civ = data.draw(st.integers(0, space.size - 1))
+        indices = space.indices(civ)
+        assert space.civ(indices) == civ
+        assert all(0 <= i < d for i, d in zip(indices, dims))
+
+    @given(dims=dims_strategy)
+    def test_enumeration_is_lexicographic(self, dims):
+        space = CoalescedSpace(dims)
+        previous = None
+        for civ in range(min(space.size, 200)):
+            current = space.indices(civ)
+            if previous is not None:
+                assert current > previous  # tuple (lex) order
+            previous = current
+
+    @given(dims=dims_strategy, threads=st.integers(1, 32))
+    def test_imbalance_non_negative(self, dims, threads):
+        assert CoalescedSpace(dims).imbalance(threads) >= 0.0
+
+    @given(outer=st.integers(1, 16), inner=st.integers(1, 16),
+           threads=st.integers(1, 16))
+    @settings(max_examples=60)
+    def test_coalescing_never_hurts_balance(self, outer, inner, threads):
+        """Algorithm 4's motivation as a universal property."""
+        batch_only = CoalescedSpace((outer,))
+        coalesced = CoalescedSpace((outer, inner))
+        assert coalesced.imbalance(threads) <= batch_only.imbalance(threads) + 1e-12

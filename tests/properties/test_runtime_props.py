@@ -1,0 +1,120 @@
+"""Property-based tests on the parallel runtime's invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduction import tree_combine
+from repro.core.scheduling import StaticSchedule
+from repro.core.team import ThreadTeam
+
+
+class TestParallelForProperties:
+    @given(space=st.integers(1, 500), threads=st.integers(1, 6),
+           chunk=st.one_of(st.none(), st.integers(1, 9)))
+    @settings(max_examples=25, deadline=None)
+    def test_every_iteration_executed_once(self, space, threads, chunk):
+        counts = np.zeros(space, dtype=np.int64)
+        with ThreadTeam(threads) as team:
+            team.parallel_for(
+                space,
+                lambda lo, hi, tid: counts.__setitem__(
+                    slice(lo, hi), counts[lo:hi] + 1
+                ),
+                StaticSchedule(chunk),
+            )
+        assert (counts == 1).all()
+
+
+class TestReductionProperties:
+    @given(parts=st.integers(1, 9), size=st.integers(1, 32),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=40)
+    def test_tree_combine_equals_sum(self, parts, size, seed):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.standard_normal(size).astype(np.float32)
+                  for _ in range(parts)]
+        expected = np.sum([a.astype(np.float64) for a in arrays], axis=0)
+        root = tree_combine([[a.copy()] for a in arrays])[0]
+        assert np.allclose(root, expected, atol=1e-4)
+
+    @given(sizes=st.lists(st.integers(1, 16), min_size=1, max_size=4),
+           slots=st.integers(1, 4))
+    @settings(max_examples=30)
+    def test_pool_request_shapes(self, sizes, slots):
+        from repro.core.privatization import PrivatePool
+        pool = PrivatePool()
+        for slot in range(slots):
+            buffers = pool.request(slot, sizes)
+            assert [b.size for b in buffers] == sizes
+            assert all((b == 0).all() for b in buffers)
+
+
+class TestLrPolicyProperties:
+    @given(base=st.floats(1e-5, 1.0), iteration=st.integers(0, 100_000),
+           gamma=st.floats(1e-6, 0.9), power=st.floats(0.1, 2.0))
+    @settings(max_examples=60)
+    def test_inv_policy_positive_and_bounded(self, base, iteration, gamma,
+                                             power):
+        from repro.framework.solvers import learning_rate
+        rate = learning_rate("inv", base, iteration, gamma=gamma, power=power)
+        assert 0.0 < rate <= base
+
+    @given(base=st.floats(1e-5, 1.0), stepsize=st.integers(1, 1000),
+           gamma=st.floats(0.01, 0.99))
+    @settings(max_examples=60)
+    def test_step_policy_monotone(self, base, stepsize, gamma):
+        from repro.framework.solvers import learning_rate
+        rates = [learning_rate("step", base, i, gamma=gamma,
+                               stepsize=stepsize)
+                 for i in range(0, 5 * stepsize, stepsize)]
+        assert all(b <= a for a, b in zip(rates, rates[1:]))
+
+
+class TestSoftmaxProperties:
+    @given(rows=st.integers(1, 6), classes=st.integers(2, 8),
+           seed=st.integers(0, 2**16), shift=st.floats(-50, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_simplex_and_shift_invariance(self, rows, classes, seed,
+                                                  shift):
+        from repro.framework.blob import Blob
+        from repro.framework.layer import create_layer
+        from repro.testing import make_blob, spec
+
+        layer = create_layer(spec("sm", "Softmax"))
+        scores = np.random.default_rng(seed).standard_normal(
+            (rows, classes)).astype(np.float32)
+        b1 = [make_blob((rows, classes), values=scores)]
+        b2 = [make_blob((rows, classes), values=scores + np.float32(shift))]
+        t1, t2 = [Blob()], [Blob()]
+        layer.setup(b1, t1)
+        layer.forward(b1, t1)
+        layer.forward(b2, t2)
+        assert np.allclose(t1[0].data.sum(axis=1), 1.0, atol=1e-4)
+        assert (t1[0].data >= 0).all()
+        assert np.allclose(t1[0].data, t2[0].data, atol=1e-4)
+
+
+class TestPoolingProperties:
+    @given(n=st.integers(1, 3), c=st.integers(1, 3), h=st.integers(3, 8),
+           kernel=st.integers(1, 3), stride=st.integers(1, 3),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_max_pool_dominates_ave_pool(self, n, c, h, kernel, stride, seed):
+        """max >= mean over every window, on non-clipped geometry."""
+        from repro.framework.blob import Blob
+        from repro.framework.layer import create_layer
+        from repro.testing import make_blob, spec
+
+        values = np.random.default_rng(seed).standard_normal(
+            n * c * h * h).astype(np.float32)
+        results = {}
+        for method in ("MAX", "AVE"):
+            layer = create_layer(spec("p", "Pooling", pool=method,
+                                      kernel_size=kernel, stride=stride))
+            bottom = [make_blob((n, c, h, h), values=values)]
+            top = [Blob()]
+            layer.setup(bottom, top)
+            layer.forward(bottom, top)
+            results[method] = top[0].data.copy()
+        assert (results["MAX"] >= results["AVE"] - 1e-5).all()

@@ -1,0 +1,75 @@
+"""Property-based tests for loop schedules (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduling import (
+    DynamicSchedule,
+    GuidedSchedule,
+    StaticSchedule,
+)
+
+space_st = st.integers(0, 300)
+threads_st = st.integers(1, 17)
+chunk_st = st.integers(1, 19)
+
+
+def drain(schedule, space, threads):
+    if schedule.is_static:
+        return [c for per in schedule.plan(space, threads) for c in per]
+    server = schedule.chunk_server(space, threads)
+    chunks = []
+    while (chunk := server.next_chunk()) is not None:
+        chunks.append(chunk)
+    return chunks
+
+
+def is_exact_partition(chunks, space):
+    position = 0
+    for lo, hi in sorted(chunks):
+        if lo != position or hi <= lo:
+            return False
+        position = hi
+    return position == space
+
+
+class TestPartitionProperties:
+    @given(space=space_st, threads=threads_st)
+    def test_static_partitions_exactly(self, space, threads):
+        assert is_exact_partition(drain(StaticSchedule(), space, threads), space)
+
+    @given(space=space_st, threads=threads_st, chunk=chunk_st)
+    def test_static_chunked_partitions_exactly(self, space, threads, chunk):
+        assert is_exact_partition(
+            drain(StaticSchedule(chunk), space, threads), space
+        )
+
+    @given(space=space_st, threads=threads_st, chunk=chunk_st)
+    def test_dynamic_partitions_exactly(self, space, threads, chunk):
+        assert is_exact_partition(
+            drain(DynamicSchedule(chunk), space, threads), space
+        )
+
+    @given(space=space_st, threads=threads_st, chunk=chunk_st)
+    def test_guided_partitions_exactly(self, space, threads, chunk):
+        assert is_exact_partition(
+            drain(GuidedSchedule(chunk), space, threads), space
+        )
+
+    @given(space=st.integers(1, 300), threads=threads_st)
+    @settings(max_examples=60)
+    def test_static_balance_bound(self, space, threads):
+        """OpenMP static: per-thread totals differ by at most ceil(s/T)."""
+        plan = StaticSchedule().plan(space, threads)
+        totals = [sum(hi - lo for lo, hi in per) for per in plan]
+        assert max(totals) - min(t for t in totals) <= -(-space // threads)
+
+    @given(space=space_st, threads=threads_st, chunk=chunk_st)
+    def test_static_chunked_sizes(self, space, threads, chunk):
+        chunks = drain(StaticSchedule(chunk), space, threads)
+        assert all(hi - lo <= chunk for lo, hi in chunks)
+
+    @given(space=space_st, threads=threads_st)
+    def test_static_deterministic(self, space, threads):
+        assert StaticSchedule().plan(space, threads) == \
+            StaticSchedule().plan(space, threads)

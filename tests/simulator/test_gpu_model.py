@@ -1,0 +1,119 @@
+"""Unit tests for the fine-grain GPU model (Figures 6 and 9)."""
+
+import pytest
+
+from repro.simulator import (
+    CPUModel,
+    GPUModel,
+    K40_CUDNN,
+    K40_PLAIN,
+    net_costs,
+)
+from repro.zoo import build_net
+
+
+@pytest.fixture(scope="module")
+def lenet_costs():
+    net = build_net("lenet")
+    net.forward()
+    return net_costs(net)
+
+
+@pytest.fixture(scope="module")
+def cifar_costs():
+    net = build_net("cifar10")
+    net.forward()
+    return net_costs(net)
+
+
+@pytest.fixture(scope="module")
+def models():
+    cpu = CPUModel()
+    return cpu, GPUModel(K40_PLAIN, host=cpu), GPUModel(K40_CUDNN, host=cpu)
+
+
+class TestMnistGpuShapes:
+    """Figure 6's qualitative structure."""
+
+    def test_plain_pooling_huge_conv_poor(self, models, lenet_costs):
+        _, plain, _ = models
+        sp = plain.layer_speedups(lenet_costs)
+        assert sp["pool1.fwd"] > 25      # paper: 57x
+        assert sp["pool2.fwd"] > 25      # paper: 62x
+        assert sp["conv1.fwd"] < 3       # paper: 1.11x
+        assert sp["conv2.fwd"] < 5       # paper: 1.63x
+
+    def test_plain_conv1_backward_near_or_below_serial(self, models,
+                                                       lenet_costs):
+        """The paper's striking outlier: plain conv1 backward runs at
+        0.43x — slower than one CPU core."""
+        _, plain, _ = models
+        assert plain.layer_speedups(lenet_costs)["conv1.bwd"] < 1.0
+
+    def test_cudnn_fixes_convolutions(self, models, lenet_costs):
+        _, plain, cudnn = models
+        for key in ("conv1.fwd", "conv2.fwd", "conv1.bwd", "conv2.bwd"):
+            assert cudnn.layer_speedups(lenet_costs)[key] > \
+                plain.layer_speedups(lenet_costs)[key]
+
+    def test_cudnn_pooling_regression(self, models, lenet_costs):
+        """Paper: pool2 forward drops 62x -> 27x under cuDNN."""
+        _, plain, cudnn = models
+        assert cudnn.layer_speedups(lenet_costs)["pool2.fwd"] < \
+            plain.layer_speedups(lenet_costs)["pool2.fwd"]
+
+    def test_cudnn_relu_regression(self, models, lenet_costs):
+        _, plain, cudnn = models
+        assert cudnn.layer_speedups(lenet_costs)["relu1.fwd"] < \
+            plain.layer_speedups(lenet_costs)["relu1.fwd"]
+
+    def test_overall_ordering(self, models, lenet_costs):
+        """Paper Fig 6 left: plain ~2x < OpenMP-16 ~8x < cuDNN ~12x."""
+        cpu, plain, cudnn = models
+        omp16 = cpu.speedup(lenet_costs, 16)
+        assert plain.speedup(lenet_costs) < omp16 < cudnn.speedup(lenet_costs)
+
+    def test_overall_magnitudes(self, models, lenet_costs):
+        _, plain, cudnn = models
+        assert 1.0 < plain.speedup(lenet_costs) < 4.0    # paper 2x
+        assert 8.0 < cudnn.speedup(lenet_costs) < 18.0   # paper 12x
+
+
+class TestCifarGpuShapes:
+    """Figure 9's qualitative structure."""
+
+    def test_plain_layer_magnitudes(self, models, cifar_costs):
+        _, plain, _ = models
+        sp = plain.layer_speedups(cifar_costs)
+        assert sp["pool1.fwd"] > 60     # paper ~110x
+        assert sp["norm1.fwd"] > 20     # paper ~40x
+        assert 1.5 < sp["conv1.fwd"] < 8  # paper 1.8-6x
+
+    def test_cudnn_conv_huge(self, models, cifar_costs):
+        _, _, cudnn = models
+        assert cudnn.layer_speedups(cifar_costs)["conv2.fwd"] > 30  # ~50x
+
+    def test_cudnn_ave_pooling_regression(self, models, cifar_costs):
+        """Paper: pool3 forward 42x -> 11.75x under cuDNN."""
+        _, plain, cudnn = models
+        plain_sp = plain.layer_speedups(cifar_costs)["pool3.fwd"]
+        cudnn_sp = cudnn.layer_speedups(cifar_costs)["pool3.fwd"]
+        assert cudnn_sp < plain_sp / 2
+
+    def test_overall_crossover(self, models, cifar_costs):
+        """Paper Fig 9: plain-GPU ~6x sits NEAR OpenMP-16 (8.83x) —
+        coarse-grain CPU beats the native GPU port — while cuDNN (27x)
+        wins outright."""
+        cpu, plain, cudnn = models
+        omp16 = cpu.speedup(cifar_costs, 16)
+        plain_sp = plain.speedup(cifar_costs)
+        cudnn_sp = cudnn.speedup(cifar_costs)
+        assert plain_sp < omp16
+        assert plain_sp > 3.0          # but same league (paper 6 vs 8.83)
+        assert cudnn_sp > 1.8 * omp16  # cuDNN far ahead (paper 27 vs 8.83)
+
+    def test_data_layer_stays_serial_on_gpu(self, models, cifar_costs):
+        _, plain, _ = models
+        data = next(c for c in cifar_costs if c.serial)
+        cpu_time = models[0].layer_time(data, 1)
+        assert plain.layer_time(data) > cpu_time  # host time + transfer

@@ -1,0 +1,62 @@
+"""Unit tests for the report/table builders."""
+
+import pytest
+
+from repro.bench import lenet_costs, models
+from repro.simulator.report import (
+    format_table,
+    gpu_layer_speedup_table,
+    layer_scalability_table,
+    layer_time_table,
+    overall_speedup_table,
+    relative_weights,
+)
+
+
+class TestTables:
+    def test_layer_time_table_shape(self):
+        cpu = models()[0]
+        keys, rows = layer_time_table(lenet_costs(), cpu, (1, 4, 16))
+        assert len(rows) == 3
+        assert all(len(row) == len(keys) for row in rows)
+        assert all(value > 0 for row in rows for value in row)
+
+    def test_times_decrease_with_threads(self):
+        cpu = models()[0]
+        keys, rows = layer_time_table(lenet_costs(), cpu, (1, 8))
+        serial, parallel = rows
+        conv_index = keys.index("conv2.fwd")
+        assert parallel[conv_index] < serial[conv_index]
+
+    def test_relative_weights_sum_to_one(self):
+        cpu = models()[0]
+        weights = relative_weights(lenet_costs(), cpu, 4)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_scalability_table_serial_row_absent(self):
+        cpu = models()[0]
+        keys, rows = layer_scalability_table(lenet_costs(), cpu, (2, 16))
+        assert len(rows) == 2
+        # at 2 threads, nothing exceeds 2.1x
+        assert max(rows[0]) < 2.2
+
+    def test_overall_table_keys(self):
+        cpu, plain, cudnn = models()
+        table = overall_speedup_table(lenet_costs(), cpu, plain, cudnn)
+        assert set(table) == {
+            "OpenMP-2T", "OpenMP-4T", "OpenMP-8T", "OpenMP-12T",
+            "OpenMP-16T", "plain-GPU", "cuDNN-GPU",
+        }
+
+    def test_gpu_table_alignment(self):
+        _, plain, cudnn = models()
+        keys, plain_sp, cudnn_sp = gpu_layer_speedup_table(
+            lenet_costs(), plain, cudnn
+        )
+        assert len(keys) == len(plain_sp) == len(cudnn_sp)
+
+    def test_format_table_renders(self):
+        text = format_table(["a", "b"], [["x", 1.5], ["y", 2.25]], width=8)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.50" in lines[2] and "2.25" in lines[3]

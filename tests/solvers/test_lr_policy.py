@@ -1,0 +1,69 @@
+"""Unit tests for learning-rate policies."""
+
+import math
+
+import pytest
+
+from repro.framework.solvers import learning_rate
+
+
+class TestPolicies:
+    def test_fixed(self):
+        assert learning_rate("fixed", 0.01, 500) == 0.01
+
+    def test_step(self):
+        assert learning_rate("step", 1.0, 0, gamma=0.5, stepsize=10) == 1.0
+        assert learning_rate("step", 1.0, 10, gamma=0.5, stepsize=10) == 0.5
+        assert learning_rate("step", 1.0, 25, gamma=0.5, stepsize=10) == 0.25
+
+    def test_exp(self):
+        assert learning_rate("exp", 1.0, 3, gamma=0.5) == pytest.approx(0.125)
+
+    def test_inv_matches_caffe_formula(self):
+        # LeNet solver: base_lr 0.01, gamma 0.0001, power 0.75
+        for iteration in (0, 100, 10000):
+            expected = 0.01 * (1 + 0.0001 * iteration) ** (-0.75)
+            assert learning_rate(
+                "inv", 0.01, iteration, gamma=0.0001, power=0.75
+            ) == pytest.approx(expected)
+
+    def test_multistep(self):
+        values = (10, 20)
+        assert learning_rate("multistep", 1.0, 5, gamma=0.1,
+                             stepvalues=values) == 1.0
+        assert learning_rate("multistep", 1.0, 15, gamma=0.1,
+                             stepvalues=values) == pytest.approx(0.1)
+        assert learning_rate("multistep", 1.0, 25, gamma=0.1,
+                             stepvalues=values) == pytest.approx(0.01)
+
+    def test_poly(self):
+        assert learning_rate("poly", 1.0, 0, power=2, max_iter=10) == 1.0
+        assert learning_rate("poly", 1.0, 5, power=2, max_iter=10) == \
+            pytest.approx(0.25)
+        assert learning_rate("poly", 1.0, 10, power=2, max_iter=10) == 0.0
+
+    def test_sigmoid(self):
+        mid = learning_rate("sigmoid", 1.0, 10, gamma=0.5, stepsize=10)
+        assert mid == pytest.approx(0.5)
+        late = learning_rate("sigmoid", 1.0, 100, gamma=0.5, stepsize=10)
+        assert late == pytest.approx(1.0, abs=1e-6)
+
+    def test_monotone_decay(self):
+        for policy, kwargs in [
+            ("inv", dict(gamma=0.01, power=0.75)),
+            ("exp", dict(gamma=0.99)),
+            ("poly", dict(power=1.0, max_iter=100)),
+        ]:
+            rates = [learning_rate(policy, 1.0, i, **kwargs)
+                     for i in range(0, 100, 10)]
+            assert rates == sorted(rates, reverse=True)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="unknown lr_policy"):
+            learning_rate("cosine", 1.0, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            learning_rate("fixed", 1.0, -1)
+        with pytest.raises(ValueError, match="stepsize"):
+            learning_rate("step", 1.0, 5, stepsize=0)
+        with pytest.raises(ValueError, match="max_iter"):
+            learning_rate("poly", 1.0, 5, max_iter=0)

@@ -1,0 +1,139 @@
+"""Tests for the network zoo: the paper's Figure 3 structures."""
+
+import numpy as np
+import pytest
+
+from repro.zoo import build_net, build_solver
+
+
+class TestLeNetStructure:
+    @pytest.fixture(scope="class")
+    def net(self):
+        net = build_net("lenet")
+        net.forward()
+        return net
+
+    def test_layer_stack(self, net):
+        assert net.layer_names == [
+            "mnist", "conv1", "pool1", "conv2", "pool2",
+            "ip1", "relu1", "ip2", "loss",
+        ]
+
+    def test_blob_shapes_match_lenet(self, net):
+        """The dimensionality-reduction chain of Fig 3 (28->24->12->8->4)."""
+        assert net.blob("data").shape == (64, 1, 28, 28)
+        assert net.blob("conv1").shape == (64, 20, 24, 24)
+        assert net.blob("pool1").shape == (64, 20, 12, 12)
+        assert net.blob("conv2").shape == (64, 50, 8, 8)
+        assert net.blob("pool2").shape == (64, 50, 4, 4)
+        assert net.blob("ip1").shape == (64, 500)
+        assert net.blob("ip2").shape == (64, 10)
+
+    def test_parameter_counts(self, net):
+        counts = {name: sum(b.count for b in net.layer(name).blobs)
+                  for name in ("conv1", "conv2", "ip1", "ip2")}
+        assert counts == {
+            "conv1": 20 * 25 + 20,
+            "conv2": 50 * 20 * 25 + 50,
+            "ip1": 500 * 800 + 500,
+            "ip2": 10 * 500 + 10,
+        }
+
+    def test_test_phase_has_accuracy(self):
+        net = build_net("lenet", phase="TEST")
+        net.forward()
+        assert 0.0 <= float(net.blob("accuracy").flat_data[0]) <= 1.0
+
+
+class TestCifarStructure:
+    @pytest.fixture(scope="class")
+    def net(self):
+        net = build_net("cifar10")
+        net.forward()
+        return net
+
+    def test_layer_stack(self, net):
+        assert net.layer_names == [
+            "cifar", "conv1", "pool1", "relu1", "norm1",
+            "conv2", "relu2", "pool2", "norm2",
+            "conv3", "relu3", "pool3", "ip1", "loss",
+        ]
+
+    def test_three_levels(self, net):
+        """The paper's three-level organization with shrinking maps."""
+        assert net.blob("conv1").shape == (100, 32, 32, 32)
+        assert net.blob("pool1").shape == (100, 32, 16, 16)
+        assert net.blob("conv2").shape == (100, 32, 16, 16)
+        assert net.blob("pool2").shape == (100, 32, 8, 8)
+        assert net.blob("conv3").shape == (100, 64, 8, 8)
+        assert net.blob("pool3").shape == (100, 64, 4, 4)
+        assert net.blob("ip1").shape == (100, 10)
+
+    def test_pool_methods(self, net):
+        assert net.layer("pool1").method == "MAX"
+        assert net.layer("pool2").method == "AVE"
+        assert net.layer("pool3").method == "AVE"
+
+    def test_initial_loss_near_log10(self, net):
+        loss = float(net.blob("loss").flat_data[0])
+        assert loss == pytest.approx(np.log(10), abs=0.3)
+
+
+class TestBuilders:
+    def test_unknown_network(self):
+        with pytest.raises(KeyError, match="unknown zoo network"):
+            build_net("alexnet")
+
+    def test_build_solver_with_test_net(self):
+        solver = build_solver("lenet", max_iter=2, with_test_net=True)
+        assert solver.test_net is not None
+        # parameters shared: training moves the test net's weights
+        train_w = solver.net.layer("conv1").blobs[0]
+        test_w = solver.test_net.layer("conv1").blobs[0]
+        assert train_w is test_w
+
+    def test_solver_params_match_caffe(self):
+        from repro.zoo import cifar10_solver_params, lenet_solver_params
+        lenet = lenet_solver_params()
+        assert (lenet.base_lr, lenet.momentum, lenet.weight_decay) == \
+            (0.01, 0.9, 0.0005)
+        assert lenet.lr_policy == "inv"
+        cifar = cifar10_solver_params()
+        assert (cifar.base_lr, cifar.weight_decay) == (0.001, 0.004)
+
+
+class TestMlp:
+    """The zoo's non-convolutional network (generality witness)."""
+
+    def test_structure(self):
+        net = build_net("mlp")
+        net.forward()
+        assert "flatten" in net.layer_names
+        assert net.blob("fc1").shape == (64, 128)
+        assert net.blob("fc2").shape == (64, 10)
+
+    def test_trains(self):
+        solver = build_solver("mlp", max_iter=25, with_test_net=True)
+        solver.step(25)
+        assert solver.loss_history[-1] < solver.loss_history[0]
+        assert solver.test() > 0.3
+
+    def test_dropout_phase_switch(self):
+        train_net = build_net("mlp", phase="TRAIN")
+        test_net = build_net("mlp", phase="TEST")
+        assert train_net.layer("drop1").train_mode is True
+        assert test_net.layer("drop1").train_mode is False
+
+    def test_parallel_bitwise_invariant(self):
+        import numpy as np
+        from repro.core import ParallelExecutor
+
+        def run(executor=None):
+            solver = build_solver("mlp", max_iter=4, executor=executor)
+            solver.step(4)
+            return solver.loss_history
+
+        sequential = run()
+        with ParallelExecutor(num_threads=3, reduction="blockwise") as ex:
+            parallel = run(ex)
+        assert parallel == sequential
