@@ -16,7 +16,7 @@ import numpy as np
 from repro.core import ParallelExecutor
 from repro.data import register_default_sources
 from repro.framework.blob import Blob
-from repro.framework.layer import register_layer
+from repro.framework.layer import FootprintDecl, register_layer
 from repro.framework.layers.neuron import NeuronLayer
 from repro.framework.net import Net
 from repro.framework.prototxt import parse_prototxt
@@ -29,7 +29,12 @@ class SwishLayer(NeuronLayer):
 
     Only the element-wise math is written; the chunk protocol inherited
     from :class:`NeuronLayer` is what the batch-parallel runtime needs.
+
+    The footprint declaration states the safety contract the analyzer
+    checks: every chunk writes only its own ``[lo, hi)`` slice.
     """
+
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom, top):
         self.beta = float(self.spec.param("beta", 1.0))
@@ -93,9 +98,34 @@ def gradient_check_swish() -> None:
     print("Swish gradient check: OK")
 
 
+def analyzer_demo() -> None:
+    """The static pass vouches for Swish — and catches a clone that
+    forgot to declare its footprint."""
+    from repro.analysis import analyze_layer_class
+    from repro.framework.layer import SAMPLE_DISJOINT, UNKNOWN
+
+    report = analyze_layer_class(SwishLayer)
+    assert report.declared is not None
+    assert report.inferred_forward == SAMPLE_DISJOINT, report
+    print("analyzer on SwishLayer: clean "
+          f"(forward={report.inferred_forward})")
+
+    # The same code *without* the declaration is flagged: defining your
+    # own chunk methods means vouching for their footprint yourself.
+    class UndeclaredSwish(SwishLayer):
+        def forward_chunk(self, bottom, top, lo, hi):
+            SwishLayer.forward_chunk(self, bottom, top, lo, hi)
+
+    report = analyze_layer_class(UndeclaredSwish)
+    missing = [f for f in report.findings if f.rule == "FP001"]
+    assert missing, "expected the missing-declaration lint to fire"
+    print(f"analyzer on UndeclaredSwish: {missing[0].message}")
+
+
 def main() -> None:
     register_default_sources()
     gradient_check_swish()
+    analyzer_demo()
 
     def train(executor=None):
         net = Net(parse_prototxt(SWISH_NET))

@@ -1,0 +1,54 @@
+"""Parallel-safety analyzer for the coarse-grain runtime.
+
+Two cooperating passes:
+
+* **static** (:mod:`repro.analysis.footprint`, :mod:`repro.analysis.lint`)
+  — AST classification of each layer's chunk-loop write footprint
+  (``sample_disjoint`` / ``reduction`` / ``sequential`` / ``unsafe``)
+  checked against its :class:`~repro.framework.layer.FootprintDecl`,
+  plus runtime-invariant lint (ordered-merge discipline).
+* **dynamic** (:mod:`repro.analysis.shadow`, :mod:`repro.analysis.race`)
+  — shadow-memory race detection: replay each layer's chunk schedule
+  per simulated thread, diff the write sets, and report cross-thread
+  overlaps not routed through privatization.
+
+Entry points: :func:`analyze_layer_class` for one class,
+:func:`run_static` / :func:`run_dynamic` / :func:`run_analysis` for
+whole nets, and ``python -m repro.analysis`` for the CLI.
+"""
+
+from repro.analysis.footprint import (
+    analyze_classes,
+    analyze_layer_class,
+    builtin_layer_classes,
+)
+from repro.analysis.lint import lint_runtime
+from repro.analysis.race import run_analysis, run_dynamic, run_static
+from repro.analysis.report import (
+    ERROR,
+    WARNING,
+    AnalysisReport,
+    DynamicReport,
+    Finding,
+    LayerReport,
+    Race,
+    StaticReport,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "AnalysisReport",
+    "DynamicReport",
+    "Finding",
+    "LayerReport",
+    "Race",
+    "StaticReport",
+    "analyze_classes",
+    "analyze_layer_class",
+    "builtin_layer_classes",
+    "lint_runtime",
+    "run_analysis",
+    "run_dynamic",
+    "run_static",
+]

@@ -1,0 +1,136 @@
+"""CLI for the parallel-safety analyzer.
+
+Usage::
+
+    python -m repro.analysis --net lenet --net cifar10 --threads 1,2,8
+    python -m repro.analysis --prototxt my_net.prototxt --gate
+    python -m repro.analysis --static-only --json
+
+Both passes run by default: the static write-footprint classification
+over every registered layer class (plus the runtime-invariant lint),
+and the dynamic shadow-memory race detection over each requested net at
+each simulated thread count.  ``--gate`` exits nonzero when any ERROR
+finding or race is present, for use in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, List, Tuple
+
+from repro.analysis.race import run_analysis
+
+
+def _parse_threads(text: str) -> List[int]:
+    try:
+        threads = [int(tok) for tok in text.split(",") if tok.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--threads wants a comma-separated list of ints, got {text!r}"
+        )
+    if not threads or any(t < 1 for t in threads):
+        raise argparse.ArgumentTypeError(
+            f"thread counts must be >= 1, got {text!r}"
+        )
+    return threads
+
+
+def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
+    def build():
+        from repro.data import register_default_sources
+        from repro.framework.net import Net
+        from repro.zoo.build import _SPECS
+
+        register_default_sources()
+        if name not in _SPECS:
+            raise SystemExit(
+                f"unknown zoo net {name!r}; available: "
+                f"{', '.join(sorted(_SPECS))}"
+            )
+        spec = _SPECS[name][0]()
+        for layer_spec in spec.layers:
+            if "batch_size" in layer_spec.params:
+                layer_spec.params["batch_size"] = batch
+        return Net(spec, phase="TRAIN")
+    return build
+
+
+def _prototxt_factory(path: str) -> Callable[[], object]:
+    def build():
+        from repro.data import register_default_sources
+        from repro.framework.net import Net
+        from repro.framework.prototxt import parse_prototxt
+
+        register_default_sources()
+        with open(path) as fh:
+            return Net(parse_prototxt(fh.read()), phase="TRAIN")
+    return build
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static + dynamic parallel-safety analysis of the "
+                    "coarse-grain runtime and its layers.",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to race-check (repeatable; e.g. lenet, cifar10)",
+    )
+    parser.add_argument(
+        "--prototxt", action="append", default=[], metavar="FILE",
+        help="user prototxt to race-check (repeatable)",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads, default=[1, 2, 8],
+        metavar="N,N,...",
+        help="simulated thread counts for the dynamic pass "
+             "(default: 1,2,8)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=4, metavar="N",
+        help="shrink data-layer batch sizes to N for the dynamic replay "
+             "(default: 4; the race check is batch-size independent)",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="skip the dynamic pass entirely",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable report as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero if any ERROR finding or race was detected",
+    )
+    args = parser.parse_args(argv)
+
+    if args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
+
+    nets: List[Tuple[str, Callable[[], object]]] = []
+    if not args.static_only:
+        names = args.net or ([] if args.prototxt else ["lenet"])
+        for name in names:
+            nets.append((name, _zoo_factory(name, args.batch)))
+        for path in args.prototxt:
+            nets.append((path, _prototxt_factory(path)))
+
+    report = run_analysis(nets=nets, threads=args.threads)
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,8 @@ Usage::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -44,6 +45,48 @@ from repro.core.scheduling import Schedule, StaticSchedule
 from repro.core.team import RegionContext, ThreadTeam
 from repro.framework.layer import LoopSpec
 from repro.framework.net import Net
+
+
+def iteration_owners(
+    space: int, num_threads: int, schedule: Optional[Schedule] = None
+) -> np.ndarray:
+    """Owner thread of every coalesced iteration, ``shape (space,)``.
+
+    For static schedules this is exactly the runtime's chunk plan.  For
+    dynamic/guided schedules real ownership depends on timing; the
+    returned tagging is the *simulated* one used by the race detector —
+    chunks are dealt to threads round-robin in dispatch order, which is a
+    legal (and for overlap purposes representative) assignment.
+    """
+    if space < 0:
+        raise ValueError(f"space must be non-negative, got {space}")
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    schedule = schedule or StaticSchedule()
+    owners = np.full(space, -1, dtype=np.int32)
+    if schedule.is_static:
+        for tid, chunks in enumerate(schedule.plan(space, num_threads)):
+            for lo, hi in chunks:
+                owners[lo:hi] = tid
+    else:
+        server = schedule.chunk_server(space, num_threads)
+        index = 0
+        while (chunk := server.next_chunk()) is not None:
+            owners[chunk[0]:chunk[1]] = index % num_threads
+            index += 1
+    return owners
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One dispatched chunk, recorded when instrumentation is enabled."""
+
+    layer: str
+    phase: str  # "forward" or "backward"
+    lo: int
+    hi: int
+    thread_id: int
+    reduction: bool = False
 
 
 class ParallelExecutor:
@@ -63,6 +106,11 @@ class ParallelExecutor:
         (bounds the extra memory to ``window x largest layer``).
     team:
         Optionally share an existing :class:`ThreadTeam`.
+    instrument:
+        When True, every dispatched chunk is recorded in
+        :attr:`ownership_log` as a :class:`ChunkRecord` (used by the
+        parallel-safety analyzer and tests).  Default off: the execution
+        paths are then byte-for-byte the uninstrumented ones.
     """
 
     def __init__(
@@ -72,7 +120,13 @@ class ParallelExecutor:
         reduction: str = "ordered",
         block_window: int = 8,
         team: Optional[ThreadTeam] = None,
+        instrument: bool = False,
     ) -> None:
+        if team is None and num_threads < 1:
+            raise ValueError(
+                f"ParallelExecutor needs num_threads >= 1, got {num_threads} "
+                "(a team of zero threads cannot execute any chunk)"
+            )
         if reduction not in REDUCTION_MODES:
             raise ValueError(
                 f"unknown reduction mode {reduction!r}; expected one of "
@@ -91,10 +145,22 @@ class ParallelExecutor:
         self._own_team = team is None
         self.team = team or ThreadTeam(num_threads)
         self.pool = PrivatePool()
+        self.instrument = instrument
+        self.ownership_log: List[ChunkRecord] = []
 
     @property
     def num_threads(self) -> int:
         return self.team.num_threads
+
+    def _record(
+        self, layer: str, phase: str, lo: int, hi: int, tid: int,
+        reduction: bool = False,
+    ) -> None:
+        # list.append is atomic under the GIL, so worker threads may call
+        # this concurrently without a lock.
+        self.ownership_log.append(
+            ChunkRecord(layer, phase, lo, hi, tid, reduction)
+        )
 
     # ------------------------------------------------------------------
     # forward (Algorithm 4 per layer)
@@ -104,9 +170,27 @@ class ParallelExecutor:
         for layer, bottom, top in zip(net.layers, net.bottoms, net.tops):
             layer.reshape(bottom, top)  # sequential, as in Caffe
             space = layer.forward_space(bottom, top)
+            if space <= 0:
+                raise ValueError(
+                    f"layer {layer.name!r} ({type(layer).__name__}) has an "
+                    f"empty coalesced forward space ({space}); check its "
+                    "batch size / bottom shapes"
+                )
+            if self.instrument:
+                name = layer.name
+
+                def body(lo: int, hi: int, tid: int,
+                         layer=layer, bottom=bottom, top=top,
+                         name=name) -> None:
+                    self._record(name, "forward", lo, hi, tid)
+                    layer.forward_chunk(bottom, top, lo, hi)
+            else:
+                body = lambda lo, hi, tid: layer.forward_chunk(
+                    bottom, top, lo, hi
+                )
             self.team.parallel_for(
                 space,
-                lambda lo, hi, tid: layer.forward_chunk(bottom, top, lo, hi),
+                body,
                 self.schedule,
             )
             layer.forward_finalize(bottom, top)
@@ -128,30 +212,45 @@ class ParallelExecutor:
                 net.tops[i], net.bottom_need_backward[i], net.bottoms[i]
             )
             for loop in loops:
-                self._run_backward_loop(loop)
+                self._run_backward_loop(loop, layer.name)
 
-    def _run_backward_loop(self, loop: LoopSpec) -> None:
-        if not loop.reduction:
-            self.team.parallel_for(
-                loop.space,
-                lambda lo, hi, tid: loop.body(lo, hi, loop.grad_targets),
-                self.schedule,
-            )
-            return
+    def _run_backward_loop(self, loop: LoopSpec, layer_name: str = "?") -> None:
         if loop.space <= 0:
+            raise ValueError(
+                f"layer {layer_name!r} produced a backward loop with an "
+                f"empty iteration space ({loop.space}); a LoopSpec must "
+                "cover at least one coalesced iteration"
+            )
+        if not loop.reduction:
+            if self.instrument:
+                def plain_body(lo: int, hi: int, tid: int) -> None:
+                    self._record(layer_name, "backward", lo, hi, tid)
+                    loop.body(lo, hi, loop.grad_targets)
+            else:
+                plain_body = lambda lo, hi, tid: loop.body(
+                    lo, hi, loop.grad_targets
+                )
+            self.team.parallel_for(loop.space, plain_body, self.schedule)
             return
         if self.reduction == "blockwise":
-            self._blockwise_loop(loop)
+            self._blockwise_loop(loop, layer_name)
         elif self.reduction in ("ordered", "atomic"):
-            self._privatized_loop(loop, ordered=self.reduction == "ordered")
+            self._privatized_loop(
+                loop, ordered=self.reduction == "ordered",
+                layer_name=layer_name,
+            )
         else:  # tree
-            self._tree_loop(loop)
+            self._tree_loop(loop, layer_name)
 
-    def _privatized_loop(self, loop: LoopSpec, ordered: bool) -> None:
+    def _privatized_loop(
+        self, loop: LoopSpec, ordered: bool, layer_name: str = "?"
+    ) -> None:
         """Algorithm 5: privatized accumulation + ordered/atomic merge."""
         team = self.team
         sizes = [t.size for t in loop.grad_targets]
         if team.num_threads == 1:
+            if self.instrument:
+                self._record(layer_name, "backward", 0, loop.space, 0, True)
             loop.body(0, loop.space, loop.grad_targets)
             return
         plan = (
@@ -162,14 +261,24 @@ class ParallelExecutor:
             None if plan is not None
             else self.schedule.chunk_server(loop.space, team.num_threads)
         )
+        instrument = self.instrument
 
         def region(ctx: RegionContext) -> None:
             grads = self.pool.request(ctx.thread_id, sizes)
             if plan is not None:
                 for lo, hi in plan[ctx.thread_id]:
+                    if instrument:
+                        self._record(
+                            layer_name, "backward", lo, hi, ctx.thread_id, True
+                        )
                     loop.body(lo, hi, grads)
             else:
                 while (chunk := server.next_chunk()) is not None:
+                    if instrument:
+                        self._record(
+                            layer_name, "backward", chunk[0], chunk[1],
+                            ctx.thread_id, True,
+                        )
                     loop.body(chunk[0], chunk[1], grads)
             merge = lambda: add_into(loop.grad_targets, grads)
             if ordered:
@@ -179,10 +288,12 @@ class ParallelExecutor:
 
         team.parallel(region)
 
-    def _tree_loop(self, loop: LoopSpec) -> None:
+    def _tree_loop(self, loop: LoopSpec, layer_name: str = "?") -> None:
         team = self.team
         sizes = [t.size for t in loop.grad_targets]
         if team.num_threads == 1:
+            if self.instrument:
+                self._record(layer_name, "backward", 0, loop.space, 0, True)
             loop.body(0, loop.space, loop.grad_targets)
             return
         plan = self.schedule.plan(loop.space, team.num_threads) \
@@ -190,22 +301,32 @@ class ParallelExecutor:
         server = None if plan is not None else \
             self.schedule.chunk_server(loop.space, team.num_threads)
         per_thread: List[List[np.ndarray]] = [None] * team.num_threads  # type: ignore
+        instrument = self.instrument
 
         def region(ctx: RegionContext) -> None:
             grads = self.pool.request(ctx.thread_id, sizes)
             per_thread[ctx.thread_id] = grads
             if plan is not None:
                 for lo, hi in plan[ctx.thread_id]:
+                    if instrument:
+                        self._record(
+                            layer_name, "backward", lo, hi, ctx.thread_id, True
+                        )
                     loop.body(lo, hi, grads)
             else:
                 while (chunk := server.next_chunk()) is not None:
+                    if instrument:
+                        self._record(
+                            layer_name, "backward", chunk[0], chunk[1],
+                            ctx.thread_id, True,
+                        )
                     loop.body(chunk[0], chunk[1], grads)
 
         team.parallel(region)
         combined = tree_combine([g for g in per_thread if g is not None])
         add_into(loop.grad_targets, combined)
 
-    def _blockwise_loop(self, loop: LoopSpec) -> None:
+    def _blockwise_loop(self, loop: LoopSpec, layer_name: str = "?") -> None:
         """Fixed-block accumulation: bitwise thread-count invariant.
 
         The space is cut at multiples of ``loop.block`` (block boundaries
@@ -227,6 +348,8 @@ class ParallelExecutor:
                     block_index = first + rel
                     lo = block_index * block
                     hi = min(lo + block, loop.space)
+                    if self.instrument:
+                        self._record(layer_name, "backward", lo, hi, tid, True)
                     loop.body(lo, hi, buffers[rel])
 
             self.team.parallel_for(count, window_body, self.schedule)

@@ -17,11 +17,37 @@ the same state machine, including transfer accounting.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 DTYPE = np.float32
+
+# ---------------------------------------------------------------------------
+# write-hook points (used by repro.analysis's shadow-memory race detector)
+# ---------------------------------------------------------------------------
+#: When set, every host-buffer access (``data`` / ``diff`` / ``flat_data`` /
+#: ``flat_diff`` / ``mark_host_*_dirty``) notifies the tracker via
+#: ``tracker.on_host_access(blob, which)`` with ``which`` in
+#: ``("data", "diff")``.  ``None`` (the default) keeps the hot path to a
+#: single global ``is not None`` test.
+_write_tracker = None
+
+
+def set_write_tracker(tracker) -> Optional[object]:
+    """Install (or clear, with ``None``) the global blob access tracker.
+
+    Returns the previously installed tracker so callers can restore it.
+    """
+    global _write_tracker
+    previous = _write_tracker
+    _write_tracker = tracker
+    return previous
+
+
+def write_tracker():
+    """The currently installed tracker, or ``None``."""
+    return _write_tracker
 
 
 class SyncState(enum.Enum):
@@ -183,6 +209,8 @@ class Blob:
     @property
     def data(self) -> np.ndarray:
         """Host view of the value buffer, shaped like :attr:`shape`."""
+        if _write_tracker is not None:
+            _write_tracker.on_host_access(self, "data")
         self._sync_to_host("data")
         count = int(np.prod(self._shape, dtype=np.int64)) if self._shape else 1
         return self._flat_data[:count].reshape(self._shape)
@@ -190,6 +218,8 @@ class Blob:
     @property
     def diff(self) -> np.ndarray:
         """Host view of the gradient buffer, shaped like :attr:`shape`."""
+        if _write_tracker is not None:
+            _write_tracker.on_host_access(self, "diff")
         self._sync_to_host("diff")
         count = int(np.prod(self._shape, dtype=np.int64)) if self._shape else 1
         return self._flat_diff[:count].reshape(self._shape)
@@ -197,12 +227,16 @@ class Blob:
     @property
     def flat_data(self) -> np.ndarray:
         """Host view of the raw 1-D value storage (length :attr:`count`)."""
+        if _write_tracker is not None:
+            _write_tracker.on_host_access(self, "data")
         self._sync_to_host("data")
         count = int(np.prod(self._shape, dtype=np.int64)) if self._shape else 1
         return self._flat_data[:count]
 
     @property
     def flat_diff(self) -> np.ndarray:
+        if _write_tracker is not None:
+            _write_tracker.on_host_access(self, "diff")
         self._sync_to_host("diff")
         count = int(np.prod(self._shape, dtype=np.int64)) if self._shape else 1
         return self._flat_diff[:count]
@@ -256,9 +290,13 @@ class Blob:
 
     def mark_host_data_dirty(self) -> None:
         """Record that host code wrote the value buffer."""
+        if _write_tracker is not None:
+            _write_tracker.on_host_access(self, "data")
         self._data_state = SyncState.AT_CPU
 
     def mark_host_diff_dirty(self) -> None:
+        if _write_tracker is not None:
+            _write_tracker.on_host_access(self, "diff")
         self._diff_state = SyncState.AT_CPU
 
     @property

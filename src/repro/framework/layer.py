@@ -37,6 +37,67 @@ import numpy as np
 from repro.framework.blob import Blob
 from repro.framework.net_spec import LayerSpec
 
+# ---------------------------------------------------------------------------
+# write-footprint classification (the parallel-safety contract)
+# ---------------------------------------------------------------------------
+# Classification of a pass's writes with respect to the coalesced iteration
+# space.  The coarse-grain runtime may distribute a pass across threads only
+# when its writes are SAMPLE_DISJOINT (each iteration owns the regions it
+# writes), REDUCTION (cross-iteration accumulation routed through the
+# privatized ``param_grads`` buffers), or SEQUENTIAL (the pass runs as a
+# single chunk; data layers).  UNKNOWN and UNSAFE mark layers the analyzer
+# could not prove safe, respectively proved unsafe.
+SAMPLE_DISJOINT = "sample_disjoint"
+REDUCTION = "reduction"
+SEQUENTIAL = "sequential"
+UNKNOWN = "unknown"
+UNSAFE = "unsafe"
+
+#: Classifications a layer may *declare* (UNKNOWN/UNSAFE are verdicts the
+#: analyzer produces, never valid declarations).
+DECLARABLE_FOOTPRINTS = (SAMPLE_DISJOINT, REDUCTION, SEQUENTIAL)
+
+
+@dataclass(frozen=True)
+class FootprintDecl:
+    """A layer's declared write footprint, checked by ``repro.analysis``.
+
+    Attributes
+    ----------
+    forward / backward:
+        Classification of the pass's writes (one of
+        :data:`DECLARABLE_FOOTPRINTS`).
+    reduction_params:
+        Indices into ``self.blobs`` whose gradients the backward pass
+        *accumulates* into the privatized ``param_grads`` buffers.  Must be
+        non-empty exactly when ``backward == REDUCTION``.
+    scratch:
+        Names of instance attributes (numpy arrays) that chunk methods
+        write, sliced by the chunk bounds — per-sample partials like a
+        loss layer's ``_per_sample``.  Any other attribute write inside a
+        chunk is hidden shared state and is flagged.
+    """
+
+    forward: str = SAMPLE_DISJOINT
+    backward: str = SAMPLE_DISJOINT
+    reduction_params: Tuple[int, ...] = ()
+    scratch: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for label, value in (("forward", self.forward),
+                             ("backward", self.backward)):
+            if value not in DECLARABLE_FOOTPRINTS:
+                raise ValueError(
+                    f"footprint {label}={value!r} is not declarable; "
+                    f"expected one of {DECLARABLE_FOOTPRINTS}"
+                )
+        if (self.backward == REDUCTION) != bool(self.reduction_params):
+            raise ValueError(
+                "reduction_params must be declared exactly when "
+                f"backward == {REDUCTION!r} (got backward={self.backward!r}, "
+                f"reduction_params={self.reduction_params})"
+            )
+
 
 @dataclass
 class LoopSpec:
@@ -97,6 +158,11 @@ class Layer:
     """
 
     type_names: tuple = ()
+
+    #: Declared write footprint (see :class:`FootprintDecl`).  ``None``
+    #: means undeclared; ``repro.analysis`` flags any class that defines
+    #: its own chunk methods without also declaring a footprint.
+    write_footprint: FootprintDecl | None = None
 
     def __init__(self, spec: LayerSpec) -> None:
         self.spec = spec
@@ -300,6 +366,32 @@ class Layer:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
+    def footprint(self) -> FootprintDecl | None:
+        """Effective footprint of this instance.
+
+        Declarations are written against the layer's maximal parameter
+        set; instances with fewer parameter blobs (e.g. a convolution
+        without a bias term) get their ``reduction_params`` clipped.
+        """
+        decl = self.write_footprint
+        if decl is None or not decl.reduction_params:
+            return decl
+        clipped = tuple(i for i in decl.reduction_params
+                        if i < len(self.blobs))
+        if clipped == decl.reduction_params:
+            return decl
+        if not clipped:
+            # No surviving reduction target: the pass degenerates to a
+            # disjoint one (nothing left to accumulate).
+            return FootprintDecl(
+                forward=decl.forward, backward=SAMPLE_DISJOINT,
+                scratch=decl.scratch,
+            )
+        return FootprintDecl(
+            forward=decl.forward, backward=decl.backward,
+            reduction_params=clipped, scratch=decl.scratch,
+        )
+
     @property
     def type(self) -> str:
         return self.spec.type

@@ -12,7 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 
 
 @register_layer("Accuracy")
@@ -25,6 +25,8 @@ class AccuracyLayer(Layer):
 
     exact_num_bottom = 2
     exact_num_top = 1
+
+    write_footprint = FootprintDecl(scratch=("_hits", "_valid"))
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.top_k = int(self.spec.param("top_k", 1))

@@ -18,7 +18,7 @@ from repro import blaslib
 from repro.blaslib.im2col import conv_out_size
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.fillers import FillerSpec, fill
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, REDUCTION, register_layer
 
 
 def _pair(spec, base: str, default=None) -> tuple[int, int]:
@@ -50,6 +50,13 @@ class ConvolutionLayer(Layer):
 
     exact_num_bottom = 1
     exact_num_top = 1
+
+    # Backward accumulates dW (and db) across samples -> privatized
+    # reduction over both param blobs; footprint() drops the bias index
+    # automatically when bias_term is off.
+    write_footprint = FootprintDecl(
+        backward=REDUCTION, reduction_params=(0, 1)
+    )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec

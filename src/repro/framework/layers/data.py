@@ -19,7 +19,7 @@ from typing import Callable, Dict, Sequence
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, SEQUENTIAL, register_layer
 
 #: Registry mapping source names (as written in prototxt ``source:`` fields)
 #: to zero-argument factories returning batch-source objects.  A batch
@@ -54,6 +54,8 @@ class DataLayer(Layer):
     exact_num_bottom = 0
     min_num_top = 1
     max_num_top = 2
+
+    write_footprint = FootprintDecl(forward=SEQUENTIAL, backward=SEQUENTIAL)
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec
@@ -115,6 +117,8 @@ class MemoryDataLayer(Layer):
     exact_num_bottom = 0
     min_num_top = 1
     max_num_top = 2
+
+    write_footprint = FootprintDecl(forward=SEQUENTIAL, backward=SEQUENTIAL)
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec
@@ -179,6 +183,8 @@ class InputLayer(Layer):
 
     exact_num_bottom = 0
     min_num_top = 1
+
+    write_footprint = FootprintDecl(forward=SEQUENTIAL, backward=SEQUENTIAL)
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         raw = self.spec.require("shape")

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.layers.neuron import NeuronLayer
-from repro.framework.layer import register_layer
+from repro.framework.layer import FootprintDecl, register_layer
 
 
 @register_layer("Dropout")
@@ -31,6 +31,10 @@ class DropoutLayer(NeuronLayer):
 
     #: Phase switch; class-level default so it can be assigned before setup.
     train_mode = True
+
+    # The mask is drawn in reshape() (sequential) and only *read* inside
+    # the chunked loops, so no scratch entry is needed.
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.ratio = float(self.spec.param("dropout_ratio", 0.5))

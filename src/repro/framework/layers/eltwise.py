@@ -7,7 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 
 
 @register_layer("Eltwise")
@@ -21,6 +21,8 @@ class EltwiseLayer(Layer):
 
     min_num_bottom = 2
     exact_num_top = 1
+
+    write_footprint = FootprintDecl(scratch=("_argmax",))
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         op = str(self.spec.param("operation", "SUM")).upper()

@@ -7,7 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 
 
 @register_layer("Flatten")
@@ -21,6 +21,8 @@ class FlattenLayer(Layer):
 
     exact_num_bottom = 1
     exact_num_top = 1
+
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.axis = bottom[0].canonical_axis(int(self.spec.param("axis", 1)))

@@ -18,7 +18,7 @@ import numpy as np
 from repro import blaslib
 from repro.framework.blob import Blob
 from repro.framework.fillers import fill
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 from repro.framework.layers.conv import _filler_spec
 
 
@@ -33,6 +33,11 @@ class InnerProductLayer(Layer):
 
     exact_num_bottom = 1
     exact_num_top = 1
+
+    # backward_loops() decomposes into reduction-free loops (bottom-grad
+    # rows over samples, weight-grad rows over outputs), so the executed
+    # footprint is sample-disjoint despite the generic backward_chunk.
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec

@@ -17,7 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 
 
 class LossLayer(Layer):
@@ -58,6 +58,10 @@ class SoftmaxWithLossLayer(LossLayer):
     spatial dims); bottom 1 holds integer labels ``(S,)``.  Supports
     ``ignore_label``.
     """
+
+    write_footprint = FootprintDecl(
+        scratch=("_per_sample", "_prob", "_valid")
+    )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.ignore_label = self.spec.param("ignore_label")
@@ -144,6 +148,8 @@ class SoftmaxWithLossLayer(LossLayer):
 @register_layer("EuclideanLoss")
 class EuclideanLossLayer(LossLayer):
     """``loss = 1/(2S) * sum ||x0_s - x1_s||^2`` (Caffe EuclideanLoss)."""
+
+    write_footprint = FootprintDecl(scratch=("_per_sample", "_diff"))
 
     def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         if bottom[0].count != bottom[1].count:

@@ -18,7 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 
 
 @register_layer("LRN")
@@ -32,6 +32,8 @@ class LRNLayer(Layer):
 
     exact_num_bottom = 1
     exact_num_top = 1
+
+    write_footprint = FootprintDecl(scratch=("_scale",))
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec

@@ -14,7 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 
 
 class NeuronLayer(Layer):
@@ -34,6 +34,8 @@ class NeuronLayer(Layer):
 @register_layer("ReLU")
 class ReLULayer(NeuronLayer):
     """Rectified linear unit: ``y = max(x, 0) + negative_slope * min(x, 0)``."""
+
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.negative_slope = float(self.spec.param("negative_slope", 0.0))
@@ -76,6 +78,8 @@ class ReLULayer(NeuronLayer):
 class SigmoidLayer(NeuronLayer):
     """Logistic sigmoid: ``y = 1 / (1 + exp(-x))``."""
 
+    write_footprint = FootprintDecl()
+
     def forward_chunk(
         self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
     ) -> None:
@@ -108,6 +112,8 @@ class SigmoidLayer(NeuronLayer):
 class TanHLayer(NeuronLayer):
     """Hyperbolic tangent."""
 
+    write_footprint = FootprintDecl()
+
     def forward_chunk(
         self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
     ) -> None:
@@ -135,6 +141,8 @@ class TanHLayer(NeuronLayer):
 @register_layer("Power")
 class PowerLayer(NeuronLayer):
     """``y = (shift + scale * x) ** power`` (Caffe PowerLayer)."""
+
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.power = float(self.spec.param("power", 1.0))
@@ -181,6 +189,8 @@ class PowerLayer(NeuronLayer):
 class AbsValLayer(NeuronLayer):
     """Absolute value: ``y = |x|``."""
 
+    write_footprint = FootprintDecl()
+
     def forward_chunk(
         self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int
     ) -> None:
@@ -207,6 +217,8 @@ class AbsValLayer(NeuronLayer):
 @register_layer("Exp")
 class ExpLayer(NeuronLayer):
     """``y = gamma^(shift + scale * x)`` (Caffe ExpLayer; default e^x)."""
+
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.base = float(self.spec.param("base", -1.0))  # -1 means e
@@ -248,6 +260,8 @@ class ExpLayer(NeuronLayer):
 @register_layer("Log")
 class LogLayer(NeuronLayer):
     """``y = log_base(shift + scale * x)`` (Caffe LogLayer; default ln)."""
+
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.base = float(self.spec.param("base", -1.0))
@@ -292,6 +306,8 @@ class LogLayer(NeuronLayer):
 class BNLLLayer(NeuronLayer):
     """Binomial normal log likelihood: ``y = log(1 + exp(x))``
     (softplus), computed stably for large |x|."""
+
+    write_footprint = FootprintDecl()
 
     def forward_chunk(
         self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int

@@ -26,7 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 from repro.framework.layers.conv import _pair
 
 
@@ -51,6 +51,8 @@ class PoolingLayer(Layer):
 
     exact_num_bottom = 1
     exact_num_top = 1
+
+    write_footprint = FootprintDecl(scratch=("_max_idx",))
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.fillers import fill
-from repro.framework.layer import Layer, LoopSpec, register_layer
+from repro.framework.layer import FootprintDecl, Layer, LoopSpec, register_layer
 from repro.framework.layers.conv import _filler_spec
 
 
@@ -62,6 +62,10 @@ class ScaleLayer(_ChannelAffineBase):
     Parameters (``scale_param``): ``axis`` (default 1), ``bias_term``
     (default false), ``filler`` (default constant 1), ``bias_filler``.
     """
+
+    # backward_loops() splits into reduction-free loops over sample rows
+    # and channels; no privatized reduction is executed.
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self._setup_geometry(bottom)
@@ -147,6 +151,8 @@ class ScaleLayer(_ChannelAffineBase):
 @register_layer("Bias")
 class BiasLayer(_ChannelAffineBase):
     """Per-channel additive bias (the Scale layer's additive half)."""
+
+    write_footprint = FootprintDecl()
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self._setup_geometry(bottom)

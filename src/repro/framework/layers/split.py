@@ -13,13 +13,15 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import Blob
-from repro.framework.layer import Layer, register_layer
+from repro.framework.layer import FootprintDecl, Layer, register_layer
 
 
 @register_layer("Split")
 class SplitLayer(Layer):
     exact_num_bottom = 1
     min_num_top = 1
+
+    write_footprint = FootprintDecl()
 
     def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         for t in top:

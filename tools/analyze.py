@@ -1,0 +1,21 @@
+"""Parallel-safety analyzer entry point.
+
+Thin wrapper so the analyzer can be run straight from a checkout::
+
+    python tools/analyze.py --net lenet --net cifar10 --gate
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis ...``.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
