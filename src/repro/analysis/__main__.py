@@ -1,6 +1,6 @@
-"""CLI for the parallel-safety analyzer.
+"""CLI for the parallel-safety analyzer and the net-graph checker.
 
-Usage::
+Flag mode (parallel-safety analysis, the original interface)::
 
     python -m repro.analysis --net lenet --net cifar10 --threads 1,2,8
     python -m repro.analysis --prototxt my_net.prototxt --gate
@@ -11,6 +11,17 @@ over every registered layer class (plus the runtime-invariant lint),
 and the dynamic shadow-memory race detection over each requested net at
 each simulated thread count.  ``--gate`` exits nonzero when any ERROR
 finding or race is present, for use in CI.
+
+Subcommand mode (net-graph static checker)::
+
+    python -m repro.analysis netcheck --net lenet --net cifar10 --gate
+    python -m repro.analysis netcheck --prototxt my_net.prototxt --json
+    python -m repro.analysis netcheck --batch 32 --threads 1,2,8
+
+``netcheck`` lints a net spec (coded findings NG001-NG009), infers every
+blob shape symbolically, and emits the static schedule / memory / FLOP
+plan — all without instantiating a single layer.  With no ``--net`` or
+``--prototxt`` it checks every zoo net.
 """
 
 from __future__ import annotations
@@ -35,6 +46,103 @@ def _parse_threads(text: str) -> List[int]:
             f"thread counts must be >= 1, got {text!r}"
         )
     return threads
+
+
+def _load_specs(net_names, prototxt_paths):
+    """Resolve CLI net selectors into (label, NetSpec) pairs."""
+    from repro.data import register_default_sources
+    from repro.framework.prototxt import parse_prototxt
+    from repro.zoo.build import _SPECS
+
+    register_default_sources()
+    specs = []
+    names = list(net_names)
+    if not names and not prototxt_paths:
+        names = sorted(_SPECS)
+    for name in names:
+        if name not in _SPECS:
+            raise SystemExit(
+                f"unknown zoo net {name!r}; available: "
+                f"{', '.join(sorted(_SPECS))}"
+            )
+        specs.append((name, _SPECS[name][0]()))
+    for path in prototxt_paths:
+        with open(path) as fh:
+            text = fh.read()
+        try:
+            spec = parse_prototxt(text, validate=False)
+        except ValueError as exc:
+            raise SystemExit(f"{path}: {exc}")
+        specs.append((path, spec))
+    return specs
+
+
+def netcheck_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis netcheck",
+        description="Static net-graph checker: symbolic shape inference, "
+                    "DAG lint (NG001-NG009), and the static schedule / "
+                    "memory / FLOP plan.",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to check (repeatable; default: all zoo nets "
+             "when no --prototxt is given)",
+    )
+    parser.add_argument(
+        "--prototxt", action="append", default=[], metavar="FILE",
+        help="user prototxt to check (repeatable; parsed without "
+             "validation so broken graphs lint instead of crashing)",
+    )
+    parser.add_argument(
+        "--phase", choices=["TRAIN", "TEST", "both"], default="both",
+        help="phase graph(s) to check (default: both)",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads, default=[1, 2, 8],
+        metavar="N,N,...",
+        help="thread counts to plan static chunking for (default: 1,2,8)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="override every feeder's batch size before planning",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable reports as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero if any net has an ERROR finding",
+    )
+    args = parser.parse_args(argv)
+
+    if args.batch is not None and args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
+
+    from repro.analysis.netcheck import check_spec
+
+    phases = ["TRAIN", "TEST"] if args.phase == "both" else [args.phase]
+    reports = []
+    for label, spec in _load_specs(args.net, args.prototxt):
+        for phase in phases:
+            report = check_spec(
+                spec, phase=phase, threads=args.threads, batch=args.batch,
+            )
+            if not report.net:
+                report.net = label
+            reports.append(report)
+
+    if args.as_json:
+        print(json.dumps([r.to_json() for r in reports], indent=2))
+    else:
+        for report in reports:
+            for line in report.summary_lines():
+                print(line)
+
+    if args.gate and not all(r.ok for r in reports):
+        return 1
+    return 0
 
 
 def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
@@ -70,6 +178,11 @@ def _prototxt_factory(path: str) -> Callable[[], object]:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "netcheck":
+        return netcheck_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Static + dynamic parallel-safety analysis of the "

@@ -21,6 +21,11 @@ from repro.framework.layers.data import register_source
 TRAIN_SAMPLES = 2048
 TEST_SAMPLES = 512
 
+#: Declared per-sample geometry, letting static shape inference resolve
+#: the zoo data layers without rendering a single synthetic image.
+MNIST_SAMPLE_SHAPE = (1, 28, 28)
+CIFAR_SAMPLE_SHAPE = (3, 32, 32)
+
 
 @lru_cache(maxsize=None)
 def _mnist(split: str) -> SyntheticMNIST:
@@ -47,22 +52,26 @@ def register_default_sources() -> None:
         lambda: ArrayBatchSource(
             _mnist("train").images, _mnist("train").labels, shuffle=False
         ),
+        shape=MNIST_SAMPLE_SHAPE,
     )
     register_source(
         "synth_mnist_test",
         lambda: ArrayBatchSource(
             _mnist("test").images, _mnist("test").labels, shuffle=False
         ),
+        shape=MNIST_SAMPLE_SHAPE,
     )
     register_source(
         "synth_cifar_train",
         lambda: ArrayBatchSource(
             _cifar("train").images, _cifar("train").labels, shuffle=False
         ),
+        shape=CIFAR_SAMPLE_SHAPE,
     )
     register_source(
         "synth_cifar_test",
         lambda: ArrayBatchSource(
             _cifar("test").images, _cifar("test").labels, shuffle=False
         ),
+        shape=CIFAR_SAMPLE_SHAPE,
     )

@@ -13,6 +13,12 @@ import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    register_shape_rule,
+)
 
 
 @register_layer("Accuracy")
@@ -83,3 +89,21 @@ class AccuracyLayer(Layer):
         raise RuntimeError(
             f"layer {self.name!r}: Accuracy has no backward pass"
         )
+
+
+@register_shape_rule("Accuracy", terminal_ok=True)
+def _accuracy_shape_rule(spec, bottoms) -> RuleResult:
+    if len(bottoms) != 2:
+        raise ShapeError(
+            f"layer {spec.name!r}: needs 2 bottoms (scores, labels), "
+            f"got {len(bottoms)}"
+        )
+    batch = bottoms[0].shape[0] if bottoms[0].num_axes else 1
+    classes = bottoms[0].count // max(batch, 1)
+    top_k = int(spec.param("top_k", 1))
+    if top_k > classes:
+        raise ShapeError(
+            f"layer {spec.name!r}: top_k {top_k} exceeds class count "
+            f"{classes}"
+        )
+    return RuleResult(tops=[BlobInfo(())], forward_space=batch)

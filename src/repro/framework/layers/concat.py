@@ -8,6 +8,13 @@ import numpy as np
 
 from repro.framework.blob import Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    canonical_axis,
+    register_shape_rule,
+)
 
 
 @register_layer("Concat")
@@ -85,3 +92,31 @@ class ConcatLayer(Layer):
                 np.copyto(dst, dtop[:, offset : offset + inner])
                 b.mark_host_diff_dirty()
             offset += inner
+
+
+@register_shape_rule("Concat")
+def _concat_shape_rule(spec, bottoms) -> RuleResult:
+    axis = canonical_axis(spec, bottoms[0], int(spec.param("axis", 1)))
+    ref = bottoms[0].shape
+    concat_total = 0
+    for b in bottoms:
+        if b.num_axes != len(ref):
+            raise ShapeError(
+                f"layer {spec.name!r}: rank mismatch {b.shape} vs {ref}"
+            )
+        for ax, (da, db) in enumerate(zip(b.shape, ref)):
+            if ax != axis and da != db:
+                raise ShapeError(
+                    f"layer {spec.name!r}: non-concat axis {ax} differs "
+                    f"({da} vs {db})"
+                )
+        concat_total += b.shape[axis]
+    out_shape = list(ref)
+    out_shape[axis] = concat_total
+    outer = 1
+    for dim in ref[:axis]:
+        outer *= dim
+    return RuleResult(
+        tops=[BlobInfo(tuple(out_shape), bottoms[0].dtype)],
+        forward_space=outer,
+    )

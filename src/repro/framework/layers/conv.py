@@ -19,6 +19,14 @@ from repro.blaslib.im2col import conv_out_size
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.fillers import FillerSpec, fill
 from repro.framework.layer import FootprintDecl, Layer, REDUCTION, register_layer
+from repro.framework.shape_inference import (
+    NOTE_DROPPED_PIXELS,
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    register_shape_rule,
+    require_axes,
+)
 
 
 def _pair(spec, base: str, default=None) -> tuple[int, int]:
@@ -207,6 +215,52 @@ class ConvolutionLayer(Layer):
                     )
         if dx is not None:
             bottom[0].mark_host_diff_dirty()
+
+
+@register_shape_rule("Convolution")
+def _conv_shape_rule(spec, bottoms) -> RuleResult:
+    """Symbolic mirror of :meth:`ConvolutionLayer.reshape`."""
+    require_axes(spec, bottoms[0], 4)
+    n, c, h, w = bottoms[0].shape
+    num_output = int(spec.require("num_output"))
+    kernel_h, kernel_w = _pair(spec, "kernel")
+    stride_h, stride_w = _pair(spec, "stride", default=1)
+    pad_h, pad_w = _pair(spec, "pad", default=0)
+    group = int(spec.param("group", 1))
+    if num_output % group or c % group:
+        raise ShapeError(
+            f"layer {spec.name!r}: group {group} must divide both channels "
+            f"{c} and num_output {num_output}"
+        )
+    try:
+        out_h = conv_out_size(h, kernel_h, pad_h, stride_h)
+        out_w = conv_out_size(w, kernel_w, pad_w, stride_w)
+    except ValueError as exc:
+        raise ShapeError(f"layer {spec.name!r}: {exc}") from exc
+
+    notes = []
+    for label, extent, kernel, pad, stride in (
+        ("height", h, kernel_h, pad_h, stride_h),
+        ("width", w, kernel_w, pad_w, stride_w),
+    ):
+        rem = (extent + 2 * pad - kernel) % stride
+        if rem:
+            notes.append((
+                NOTE_DROPPED_PIXELS,
+                f"layer {spec.name!r}: stride {stride} drops the last {rem} "
+                f"input row(s)/col(s) along {label} "
+                f"(({extent} + 2*{pad} - {kernel}) % {stride} != 0)",
+            ))
+
+    param_shapes = [(num_output, c // group, kernel_h, kernel_w)]
+    if bool(spec.param("bias_term", True)):
+        param_shapes.append((num_output,))
+    return RuleResult(
+        tops=[BlobInfo((n, num_output, out_h, out_w))],
+        forward_space=n,
+        param_shapes=param_shapes,
+        notes=notes,
+    )
 
 
 def _filler_spec(raw) -> FillerSpec:

@@ -20,6 +20,12 @@ import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.layer import FootprintDecl, Layer, SEQUENTIAL, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    register_shape_rule,
+)
 
 #: Registry mapping source names (as written in prototxt ``source:`` fields)
 #: to zero-argument factories returning batch-source objects.  A batch
@@ -27,10 +33,38 @@ from repro.framework.layer import FootprintDecl, Layer, SEQUENTIAL, register_lay
 #: (``(C, H, W)`` of one sample).
 _SOURCE_REGISTRY: Dict[str, Callable[[], object]] = {}
 
+#: Declared per-sample shapes, kept separately so static analysis can
+#: resolve a source's geometry without running its factory (factories may
+#: render whole synthetic datasets).
+_SOURCE_SHAPES: Dict[str, tuple] = {}
 
-def register_source(name: str, factory: Callable[[], object]) -> None:
-    """Register a batch-source factory under ``name``."""
+
+def register_source(
+    name: str,
+    factory: Callable[[], object],
+    shape: tuple | None = None,
+) -> None:
+    """Register a batch-source factory under ``name``.
+
+    ``shape`` optionally declares the per-sample ``(C, H, W)`` geometry
+    up front; without it, static shape inference has to fall back to
+    instantiating the source (see :func:`declared_source_shape`).
+    """
     _SOURCE_REGISTRY[name] = factory
+    if shape is not None:
+        _SOURCE_SHAPES[name] = tuple(int(d) for d in shape)
+    else:
+        _SOURCE_SHAPES.pop(name, None)
+
+
+def declared_source_shape(name: str) -> tuple | None:
+    """Per-sample ``(C, H, W)`` of a registered source, or None.
+
+    Prefers the shape declared at registration; a source registered
+    without one yields None (static analysis then reports the data
+    layer as uninferable rather than running the factory).
+    """
+    return _SOURCE_SHAPES.get(name)
 
 
 def create_source(name: str) -> object:
@@ -216,3 +250,72 @@ class InputLayer(Layer):
 
     def backward_chunk(self, *args, **kwargs) -> None:
         pass
+
+
+# ---------------------------------------------------------------------------
+# inference rules (the feeders anchor every downstream symbolic shape)
+# ---------------------------------------------------------------------------
+@register_shape_rule("Data", sequential=True)
+def _data_shape_rule(spec, bottoms) -> RuleResult:
+    batch = int(spec.require("batch_size"))
+    if batch <= 0:
+        raise ShapeError(
+            f"layer {spec.name!r}: batch_size must be positive, got {batch}"
+        )
+    source = spec.param("source_object")
+    if source is not None and hasattr(source, "shape"):
+        sample = tuple(int(d) for d in source.shape)
+    else:
+        name = spec.param("source")
+        sample = declared_source_shape(str(name)) if name else None
+    if sample is None:
+        raise ShapeError(
+            f"layer {spec.name!r}: data source "
+            f"{spec.param('source')!r} declares no sample shape; register "
+            "it with register_source(..., shape=(C, H, W))"
+        )
+    tops = [BlobInfo((batch,) + sample)]
+    if len(spec.tops) > 1:
+        tops.append(BlobInfo((batch,)))
+    return RuleResult(tops=tops, forward_space=1)
+
+
+@register_shape_rule("MemoryData", sequential=True)
+def _memory_data_shape_rule(spec, bottoms) -> RuleResult:
+    batch = int(spec.require("batch_size"))
+    if batch <= 0:
+        raise ShapeError(
+            f"layer {spec.name!r}: batch_size must be positive, got {batch}"
+        )
+    shape = (
+        batch,
+        int(spec.param("channels", 1)),
+        int(spec.param("height", 1)),
+        int(spec.param("width", 1)),
+    )
+    tops = [BlobInfo(shape)]
+    if len(spec.tops) > 1:
+        tops.append(BlobInfo((batch,)))
+    return RuleResult(tops=tops, forward_space=1)
+
+
+@register_shape_rule("Input", sequential=True)
+def _input_shape_rule(spec, bottoms) -> RuleResult:
+    raw = spec.require("shape")
+    shapes = raw if isinstance(raw, list) else [raw]
+    parsed = []
+    for blk in shapes:
+        dims = blk.get("dim") if isinstance(blk, dict) else blk
+        if not isinstance(dims, list):
+            dims = [dims]
+        parsed.append(tuple(int(d) for d in dims))
+    if len(parsed) not in (1, len(spec.tops)):
+        raise ShapeError(
+            f"layer {spec.name!r}: {len(parsed)} shapes for "
+            f"{len(spec.tops)} tops"
+        )
+    tops = [
+        BlobInfo(parsed[i if len(parsed) > 1 else 0])
+        for i in range(len(spec.tops))
+    ]
+    return RuleResult(tops=tops, forward_space=1)

@@ -17,6 +17,12 @@ import numpy as np
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.layers.neuron import NeuronLayer
 from repro.framework.layer import FootprintDecl, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    register_shape_rule,
+)
 
 
 @register_layer("Dropout")
@@ -83,3 +89,17 @@ class DropoutLayer(NeuronLayer):
         elif bottom[0] is not top[0]:
             np.copyto(dx, dy)
         bottom[0].mark_host_diff_dirty()
+
+
+@register_shape_rule("Dropout", inplace_ok=True)
+def _dropout_shape_rule(spec, bottoms) -> RuleResult:
+    ratio = float(spec.param("dropout_ratio", 0.5))
+    if not 0.0 <= ratio < 1.0:
+        raise ShapeError(
+            f"layer {spec.name!r}: dropout_ratio must be in [0, 1), "
+            f"got {ratio}"
+        )
+    return RuleResult(
+        tops=[BlobInfo(bottoms[0].shape, bottoms[0].dtype)],
+        forward_space=bottoms[0].count,
+    )

@@ -8,6 +8,12 @@ import numpy as np
 
 from repro.framework.blob import Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    register_shape_rule,
+)
 
 
 @register_layer("Eltwise")
@@ -102,3 +108,20 @@ class EltwiseLayer(Layer):
             else:  # MAX: route to the winner only
                 np.multiply(dy, self._argmax[lo:hi] == i, out=dx)
             b.mark_host_diff_dirty()
+
+
+@register_shape_rule("Eltwise")
+def _eltwise_shape_rule(spec, bottoms) -> RuleResult:
+    op = str(spec.param("operation", "SUM")).upper()
+    if op not in ("SUM", "PROD", "MAX"):
+        raise ShapeError(f"layer {spec.name!r}: unknown operation {op!r}")
+    for b in bottoms[1:]:
+        if b.shape != bottoms[0].shape:
+            raise ShapeError(
+                f"layer {spec.name!r}: bottoms disagree in shape "
+                f"({b.shape} vs {bottoms[0].shape})"
+            )
+    return RuleResult(
+        tops=[BlobInfo(bottoms[0].shape, bottoms[0].dtype)],
+        forward_space=bottoms[0].count,
+    )

@@ -8,6 +8,12 @@ import numpy as np
 
 from repro.framework.blob import Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    canonical_axis,
+    register_shape_rule,
+)
 
 
 @register_layer("Flatten")
@@ -56,3 +62,16 @@ class FlattenLayer(Layer):
             return
         np.copyto(bottom[0].flat_diff[lo:hi], top[0].flat_diff[lo:hi])
         bottom[0].mark_host_diff_dirty()
+
+
+@register_shape_rule("Flatten")
+def _flatten_shape_rule(spec, bottoms) -> RuleResult:
+    axis = canonical_axis(spec, bottoms[0], int(spec.param("axis", 1)))
+    shape = bottoms[0].shape
+    flattened = 1
+    for dim in shape[axis:]:
+        flattened *= dim
+    return RuleResult(
+        tops=[BlobInfo(tuple(shape[:axis]) + (flattened,), bottoms[0].dtype)],
+        forward_space=bottoms[0].count,
+    )

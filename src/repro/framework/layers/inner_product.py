@@ -20,6 +20,12 @@ from repro.framework.blob import Blob
 from repro.framework.fillers import fill
 from repro.framework.layer import FootprintDecl, Layer, register_layer
 from repro.framework.layers.conv import _filler_spec
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    canonical_axis,
+    register_shape_rule,
+)
 
 
 @register_layer("InnerProduct")
@@ -173,3 +179,25 @@ class InnerProductLayer(Layer):
             ),
         ))
         return loops
+
+
+@register_shape_rule("InnerProduct")
+def _ip_shape_rule(spec, bottoms) -> RuleResult:
+    """Symbolic mirror of :meth:`InnerProductLayer.reshape`."""
+    num_output = int(spec.require("num_output"))
+    axis = canonical_axis(spec, bottoms[0], int(spec.param("axis", 1)))
+    shape = bottoms[0].shape
+    inner = 1
+    for dim in shape[axis:]:
+        inner *= dim
+    outer = 1
+    for dim in shape[:axis]:
+        outer *= dim
+    param_shapes = [(num_output, inner)]
+    if bool(spec.param("bias_term", True)):
+        param_shapes.append((num_output,))
+    return RuleResult(
+        tops=[BlobInfo(tuple(shape[:axis]) + (num_output,))],
+        forward_space=outer,
+        param_shapes=param_shapes,
+    )

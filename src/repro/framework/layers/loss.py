@@ -18,6 +18,12 @@ import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    register_shape_rule,
+)
 
 
 class LossLayer(Layer):
@@ -190,3 +196,36 @@ class EuclideanLossLayer(LossLayer):
                 dx = bottom[i].flat_diff.reshape(batch, -1)[lo:hi]
                 np.copyto(dx, sign * scale * self._diff[lo:hi])
                 bottom[i].mark_host_diff_dirty()
+
+
+@register_shape_rule("SoftmaxWithLoss", terminal_ok=True)
+def _softmax_loss_shape_rule(spec, bottoms) -> RuleResult:
+    """Scalar loss over the batch; bottom 1 carries the labels."""
+    if len(bottoms) != 2:
+        raise ShapeError(
+            f"layer {spec.name!r}: needs 2 bottoms (scores, labels), "
+            f"got {len(bottoms)}"
+        )
+    batch = bottoms[0].shape[0] if bottoms[0].num_axes else 1
+    labels = bottoms[1]
+    if labels.num_axes and labels.shape[0] != batch:
+        raise ShapeError(
+            f"layer {spec.name!r}: label batch {labels.shape[0]} != "
+            f"score batch {batch}"
+        )
+    return RuleResult(tops=[BlobInfo(())], forward_space=batch)
+
+
+@register_shape_rule("EuclideanLoss", terminal_ok=True)
+def _euclidean_loss_shape_rule(spec, bottoms) -> RuleResult:
+    if len(bottoms) != 2:
+        raise ShapeError(
+            f"layer {spec.name!r}: needs 2 bottoms, got {len(bottoms)}"
+        )
+    if bottoms[0].count != bottoms[1].count:
+        raise ShapeError(
+            f"layer {spec.name!r}: bottoms disagree in count "
+            f"({bottoms[0].count} vs {bottoms[1].count})"
+        )
+    batch = bottoms[0].shape[0] if bottoms[0].num_axes else 1
+    return RuleResult(tops=[BlobInfo(())], forward_space=batch)

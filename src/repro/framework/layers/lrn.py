@@ -19,6 +19,13 @@ import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    register_shape_rule,
+    require_axes,
+)
 
 
 @register_layer("LRN")
@@ -121,3 +128,22 @@ class LRNLayer(Layer):
              - coeff * x * window.astype(DTYPE)),
         )
         bottom[0].mark_host_diff_dirty()
+
+
+@register_shape_rule("LRN")
+def _lrn_shape_rule(spec, bottoms) -> RuleResult:
+    require_axes(spec, bottoms[0], 4)
+    local_size = int(spec.param("local_size", 5))
+    if local_size % 2 == 0:
+        raise ShapeError(
+            f"layer {spec.name!r}: local_size must be odd, got {local_size}"
+        )
+    region = str(spec.param("norm_region", "ACROSS_CHANNELS")).upper()
+    if region != "ACROSS_CHANNELS":
+        raise ShapeError(
+            f"layer {spec.name!r}: only ACROSS_CHANNELS LRN is supported"
+        )
+    return RuleResult(
+        tops=[BlobInfo(bottoms[0].shape, bottoms[0].dtype)],
+        forward_space=bottoms[0].shape[0],
+    )

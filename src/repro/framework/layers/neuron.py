@@ -15,6 +15,11 @@ import numpy as np
 
 from repro.framework.blob import Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    register_shape_rule,
+)
 
 
 class NeuronLayer(Layer):
@@ -335,3 +340,15 @@ class BNLLLayer(NeuronLayer):
                        np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
         np.copyto(bottom[0].flat_diff[lo:hi], dy * sig)
         bottom[0].mark_host_diff_dirty()
+
+
+@register_shape_rule(
+    "ReLU", "Sigmoid", "TanH", "Power", "AbsVal", "Exp", "Log", "BNLL",
+    inplace_ok=True,
+)
+def _neuron_shape_rule(spec, bottoms) -> RuleResult:
+    """Element-wise layers: top mirrors the bottom, fully coalesced space."""
+    return RuleResult(
+        tops=[BlobInfo(bottoms[0].shape, bottoms[0].dtype)],
+        forward_space=bottoms[0].count,
+    )

@@ -28,6 +28,14 @@ import numpy as np
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
 from repro.framework.layers.conv import _pair
+from repro.framework.shape_inference import (
+    NOTE_SKIPPED_PIXELS,
+    BlobInfo,
+    RuleResult,
+    ShapeError,
+    register_shape_rule,
+    require_axes,
+)
 
 
 def pool_out_size(in_size: int, kernel: int, pad: int, stride: int) -> int:
@@ -194,3 +202,47 @@ class PoolingLayer(Layer):
             dplanes += padded[:, self.pad_h : self.pad_h + self.in_h,
                               self.pad_w : self.pad_w + self.in_w]
         bottom[0].mark_host_diff_dirty()
+
+
+@register_shape_rule("Pooling")
+def _pool_shape_rule(spec, bottoms) -> RuleResult:
+    """Symbolic mirror of :meth:`PoolingLayer.reshape` (ceil semantics)."""
+    require_axes(spec, bottoms[0], 4)
+    n, c, h, w = bottoms[0].shape
+    method = str(spec.param("pool", "MAX")).upper()
+    if method not in ("MAX", "AVE"):
+        raise ShapeError(
+            f"layer {spec.name!r}: unsupported pool method {method!r}"
+        )
+    kernel_h, kernel_w = _pair(spec, "kernel")
+    stride_h, stride_w = _pair(spec, "stride", default=1)
+    pad_h, pad_w = _pair(spec, "pad", default=0)
+    if pad_h >= kernel_h or pad_w >= kernel_w:
+        raise ShapeError(
+            f"layer {spec.name!r}: pad ({pad_h}, {pad_w}) must be smaller "
+            f"than the kernel ({kernel_h}, {kernel_w})"
+        )
+    out_h = pool_out_size(h, kernel_h, pad_h, stride_h)
+    out_w = pool_out_size(w, kernel_w, pad_w, stride_w)
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"layer {spec.name!r}: window does not fit "
+            f"(in=({h}, {w}) kernel=({kernel_h}, {kernel_w}))"
+        )
+    notes = []
+    for label, kernel, stride in (
+        ("height", kernel_h, stride_h),
+        ("width", kernel_w, stride_w),
+    ):
+        if stride > kernel:
+            notes.append((
+                NOTE_SKIPPED_PIXELS,
+                f"layer {spec.name!r}: stride {stride} exceeds the kernel "
+                f"{kernel} along {label}, so {stride - kernel} input "
+                f"row(s)/col(s) between windows are never pooled",
+            ))
+    return RuleResult(
+        tops=[BlobInfo((n, c, out_h, out_w))],
+        forward_space=n * c,
+        notes=notes,
+    )

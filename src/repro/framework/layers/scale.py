@@ -21,6 +21,12 @@ from repro.framework.blob import DTYPE, Blob
 from repro.framework.fillers import fill
 from repro.framework.layer import FootprintDecl, Layer, LoopSpec, register_layer
 from repro.framework.layers.conv import _filler_spec
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    canonical_axis,
+    register_shape_rule,
+)
 
 
 class _ChannelAffineBase(Layer):
@@ -204,3 +210,32 @@ class BiasLayer(_ChannelAffineBase):
                 top, lo, hi),
         ))
         return loops
+
+
+def _affine_rule(spec, bottoms, with_scale: bool) -> RuleResult:
+    axis = canonical_axis(spec, bottoms[0], int(spec.param("axis", 1)))
+    channels = bottoms[0].shape[axis]
+    outer = 1
+    for dim in bottoms[0].shape[:axis]:
+        outer *= dim
+    if with_scale:
+        param_shapes = [(channels,)]
+        if bool(spec.param("bias_term", False)):
+            param_shapes.append((channels,))
+    else:
+        param_shapes = [(channels,)]
+    return RuleResult(
+        tops=[BlobInfo(bottoms[0].shape, bottoms[0].dtype)],
+        forward_space=outer,
+        param_shapes=param_shapes,
+    )
+
+
+@register_shape_rule("Scale", inplace_ok=True)
+def _scale_shape_rule(spec, bottoms) -> RuleResult:
+    return _affine_rule(spec, bottoms, with_scale=True)
+
+
+@register_shape_rule("Bias", inplace_ok=True)
+def _bias_shape_rule(spec, bottoms) -> RuleResult:
+    return _affine_rule(spec, bottoms, with_scale=False)

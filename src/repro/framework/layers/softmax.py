@@ -8,6 +8,12 @@ import numpy as np
 
 from repro.framework.blob import Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    canonical_axis,
+    register_shape_rule,
+)
 
 
 @register_layer("Softmax")
@@ -72,3 +78,15 @@ class SoftmaxLayer(Layer):
         dot = (dy * y).sum(axis=1, keepdims=True)
         np.copyto(dx, y * (dy - dot))
         bottom[0].mark_host_diff_dirty()
+
+
+@register_shape_rule("Softmax", inplace_ok=True)
+def _softmax_shape_rule(spec, bottoms) -> RuleResult:
+    axis = canonical_axis(spec, bottoms[0], int(spec.param("axis", 1)))
+    outer = 1
+    for dim in bottoms[0].shape[:axis]:
+        outer *= dim
+    return RuleResult(
+        tops=[BlobInfo(bottoms[0].shape, bottoms[0].dtype)],
+        forward_space=outer,
+    )

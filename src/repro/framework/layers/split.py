@@ -14,6 +14,11 @@ import numpy as np
 
 from repro.framework.blob import Blob
 from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.shape_inference import (
+    BlobInfo,
+    RuleResult,
+    register_shape_rule,
+)
 
 
 @register_layer("Split")
@@ -54,3 +59,12 @@ class SplitLayer(Layer):
         for t in top[1:]:
             dst += t.flat_diff[lo:hi]
         bottom[0].mark_host_diff_dirty()
+
+
+@register_shape_rule("Split")
+def _split_shape_rule(spec, bottoms) -> RuleResult:
+    return RuleResult(
+        tops=[BlobInfo(bottoms[0].shape, bottoms[0].dtype)
+              for _ in spec.tops],
+        forward_space=bottoms[0].count,
+    )

@@ -166,12 +166,10 @@ class Net:
         self.bottom_need_backward: List[List[bool]] = []
         self._blob_needs_grad: Dict[int, bool] = {}  # id(blob) -> bool
 
+        # validate() guarantees len(input_shapes) >= len(inputs); an input
+        # without a declared shape is a spec error, not an empty blob.
         for input_name, input_shape in zip(spec.inputs, spec.input_shapes):
             blob = Blob(tuple(input_shape), name=input_name)
-            self.blob_map[input_name] = blob
-            self._blob_needs_grad[id(blob)] = False
-        for input_name in spec.inputs[len(spec.input_shapes):]:
-            blob = Blob((), name=input_name)
             self.blob_map[input_name] = blob
             self._blob_needs_grad[id(blob)] = False
 

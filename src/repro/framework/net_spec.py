@@ -69,9 +69,19 @@ class NetSpec:
         return [s for s in self.layers if s.phase in (None, phase)]
 
     def validate(self) -> None:
-        """Check structural sanity: per-phase unique names, no dangling
-        bottoms.  A name may repeat across phases (Caffe's TRAIN/TEST data
-        layers conventionally share one)."""
+        """Check structural sanity: every declared input carries a shape,
+        per-phase unique names, no dangling bottoms.  A name may repeat
+        across phases (Caffe's TRAIN/TEST data layers conventionally
+        share one)."""
+        if len(self.inputs) > len(self.input_shapes):
+            missing = ", ".join(
+                repr(name) for name in self.inputs[len(self.input_shapes):]
+            )
+            raise ValueError(
+                f"net declares {len(self.inputs)} input(s) but only "
+                f"{len(self.input_shapes)} input_shape(s); inputs without "
+                f"a shape: {missing}"
+            )
         for phase in ("TRAIN", "TEST"):
             seen_names = set()
             for spec in self.layers_for_phase(phase):

@@ -63,13 +63,22 @@ class _Parser:
         self._tokens = tokens
         self._pos = 0
 
+    @property
+    def _last_line(self) -> int:
+        """Line of the most recently seen token (1 for empty input)."""
+        if not self._tokens:
+            return 1
+        return self._tokens[min(self._pos, len(self._tokens) - 1)][2]
+
     def _peek(self) -> Tuple[str, str, int] | None:
         return self._tokens[self._pos] if self._pos < len(self._tokens) else None
 
     def _next(self) -> Tuple[str, str, int]:
         tok = self._peek()
         if tok is None:
-            raise PrototxtError("unexpected end of input")
+            raise PrototxtError(
+                f"line {self._last_line}: unexpected end of input"
+            )
         self._pos += 1
         return tok
 
@@ -80,7 +89,10 @@ class _Parser:
             tok = self._peek()
             if tok is None:
                 if stop_at_brace:
-                    raise PrototxtError("unterminated message: missing '}'")
+                    raise PrototxtError(
+                        f"line {self._last_line}: unterminated message: "
+                        "missing '}'"
+                    )
                 return message
             kind, value, line = tok
             if kind == "brace" and value == "}":
@@ -99,7 +111,10 @@ class _Parser:
     def _parse_field_value(self, message: Dict[str, Any], key: str) -> None:
         tok = self._peek()
         if tok is None:
-            raise PrototxtError(f"field {key!r}: unexpected end of input")
+            raise PrototxtError(
+                f"line {self._last_line}: field {key!r}: unexpected end "
+                "of input"
+            )
         kind, value, line = tok
         if kind == "colon":
             self._next()
@@ -210,8 +225,13 @@ def _layer_spec_from_message(msg: Dict[str, Any]) -> LayerSpec:
     )
 
 
-def parse_prototxt(text: str) -> NetSpec:
-    """Parse a Caffe network prototxt into a :class:`NetSpec`."""
+def parse_prototxt(text: str, validate: bool = True) -> NetSpec:
+    """Parse a Caffe network prototxt into a :class:`NetSpec`.
+
+    ``validate=False`` skips :meth:`NetSpec.validate`, so deliberately
+    broken graphs still parse — the netcheck linter uses this to turn
+    structural errors into coded findings instead of a parse abort.
+    """
     root = parse_text(text)
     spec = NetSpec(name=str(root.get("name", "")))
     for msg in _as_list(root.get("layer")):
@@ -223,5 +243,6 @@ def parse_prototxt(text: str) -> NetSpec:
     for shape_blk in _as_list(root.get("input_shape")):
         if isinstance(shape_blk, dict):
             spec.input_shapes.append([int(d) for d in _as_list(shape_blk.get("dim"))])
-    spec.validate()
+    if validate:
+        spec.validate()
     return spec

@@ -1,15 +1,25 @@
-"""Per-layer cost extraction from real networks.
+"""Per-layer cost extraction from real networks — or from specs alone.
 
-For every layer of a (already shaped) :class:`~repro.framework.net.Net`,
-this module computes the quantities the machine models consume: floating
-point operations, bytes streamed, the coalesced iteration space the
-coarse-grain runtime distributes, the data-thread *distribution
-signature* used by the locality model, and the privatized reduction
-volume of the backward pass.
+For every layer of a network, this module computes the quantities the
+machine models consume: floating point operations, bytes streamed, the
+coalesced iteration space the coarse-grain runtime distributes, the
+data-thread *distribution signature* used by the locality model, and the
+privatized reduction volume of the backward pass.
 
-Everything is derived from the layer objects' real attributes (kernel
-sizes, blob shapes), so the models follow the actual networks — changing
-the prototxt changes the figures, as on real hardware.
+The per-type cost formulas are pure **geometry functions** (``conv_costs``,
+``pool_costs``, ...) taking plain integers, with two front ends sharing
+them:
+
+* :func:`net_costs` reads the geometry off an instantiated (already
+  shaped) :class:`~repro.framework.net.Net` — figures follow the actual
+  network, as on real hardware;
+* :func:`spec_costs` derives the same geometry symbolically via
+  :func:`repro.framework.symbolic.infer_net`, so the simulator can run
+  from a prototxt alone, without allocating a single blob.
+
+Because both paths call the same formulas, their agreement is structural
+rather than coincidental — the parity the static planner's acceptance
+tests assert.
 """
 
 from __future__ import annotations
@@ -17,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.framework.layers.conv import ConvolutionLayer
+from repro.framework.layers.accuracy import AccuracyLayer
+from repro.framework.layers.conv import ConvolutionLayer, _pair
 from repro.framework.layers.data import DataLayer, InputLayer, MemoryDataLayer
 from repro.framework.layers.inner_product import InnerProductLayer
 from repro.framework.layers.loss import LossLayer
@@ -25,10 +36,20 @@ from repro.framework.layers.lrn import LRNLayer
 from repro.framework.layers.neuron import NeuronLayer
 from repro.framework.layers.pooling import PoolingLayer
 from repro.framework.layers.softmax import SoftmaxLayer
-from repro.framework.layers.accuracy import AccuracyLayer
 from repro.framework.net import Net
+from repro.framework.net_spec import NetSpec
+from repro.framework.symbolic import infer_net
 
 BYTES = 4  # single precision
+
+#: Layer types (lowercased) routed to each geometry function when costing
+#: a spec symbolically; mirrors the isinstance dispatch of net_costs.
+_DATA_TYPES = frozenset(("data", "memorydata", "input"))
+_NEURON_TYPES = frozenset((
+    "relu", "sigmoid", "tanh", "power", "absval", "exp", "log", "bnll",
+    "dropout",
+))
+_LOSS_TYPES = frozenset(("softmaxwithloss", "euclideanloss", "softmax"))
 
 
 @dataclass
@@ -55,99 +76,103 @@ class LayerCost:
         return f"{self.name}.{'fwd' if self.pass_ == 'forward' else 'bwd'}"
 
 
-def _conv_costs(layer: ConvolutionLayer, bottom, top) -> List[LayerCost]:
-    n, c, h, w = bottom[0].shape
-    _, k, oh, ow = top[0].shape
-    kernel = layer.kernel_h * layer.kernel_w
-    macs = n * k * oh * ow * c * kernel / layer.group
+# ---------------------------------------------------------------------------
+# geometry functions: pure integer arithmetic, shared by both front ends
+# ---------------------------------------------------------------------------
+def conv_costs(
+    name: str, *, n: int, c: int, h: int, w: int, k: int, oh: int, ow: int,
+    kernel: int, group: int, weight_count: int, param_count: int,
+) -> List[LayerCost]:
+    """``kernel`` is the window area (kh*kw); ``weight_count`` the filter
+    bank's element count; ``param_count`` all parameter elements."""
+    macs = n * k * oh * ow * c * kernel / group
     fwd_flops = 2.0 * macs + n * k * oh * ow  # + bias add
     col_bytes = n * (c * kernel * oh * ow) * BYTES  # im2col materialization
     in_bytes = n * c * h * w * BYTES
     out_bytes = n * k * oh * ow * BYTES
-    weight_bytes = layer.blobs[0].count * BYTES
+    weight_bytes = weight_count * BYTES
     fwd = LayerCost(
-        name=layer.name, type="Convolution", pass_="forward",
+        name=name, type="Convolution", pass_="forward",
         flops=fwd_flops, bytes=in_bytes + col_bytes + out_bytes + weight_bytes,
-        space=n, segments=n * layer.group, dist="sample",
+        space=n, segments=n * group, dist="sample",
         input_bytes=in_bytes, channels_in=c, plane_out=oh * ow,
     )
     # backward: dW (gemm), dX (gemm + col2im) — ~2x forward arithmetic.
     bwd_flops = 4.0 * macs + n * k * oh * ow
-    params_bytes = sum(b.count for b in layer.blobs) * BYTES
     bwd = LayerCost(
-        name=layer.name, type="Convolution", pass_="backward",
+        name=name, type="Convolution", pass_="backward",
         flops=bwd_flops,
         bytes=2 * col_bytes + in_bytes + out_bytes + 2 * weight_bytes,
-        space=n, segments=2 * n * layer.group, dist="sample",
-        reduction_bytes=params_bytes, input_bytes=out_bytes, channels_in=c,
-        plane_out=oh * ow,
+        space=n, segments=2 * n * group, dist="sample",
+        reduction_bytes=param_count * BYTES, input_bytes=out_bytes,
+        channels_in=c, plane_out=oh * ow,
     )
     return [fwd, bwd]
 
 
-def _pool_costs(layer: PoolingLayer, bottom, top) -> List[LayerCost]:
-    n, c, h, w = bottom[0].shape
-    _, _, oh, ow = top[0].shape
-    window = layer.kernel_h * layer.kernel_w
+def pool_costs(
+    name: str, *, n: int, c: int, h: int, w: int, oh: int, ow: int,
+    window: int, method: str,
+) -> List[LayerCost]:
     fwd_flops = n * c * oh * ow * window  # one compare/add per window elem
     in_bytes = n * c * h * w * BYTES
     out_bytes = n * c * oh * ow * BYTES
-    idx_bytes = out_bytes if layer.method == "MAX" else 0
+    idx_bytes = out_bytes if method == "MAX" else 0
     fwd = LayerCost(
-        name=layer.name, type="Pooling", pass_="forward",
+        name=name, type="Pooling", pass_="forward",
         flops=fwd_flops, bytes=in_bytes + out_bytes + idx_bytes,
         space=n * c, segments=n * c, dist="sample-channel",
-        input_bytes=in_bytes, variant=layer.method, plane_out=oh * ow,
+        input_bytes=in_bytes, variant=method, plane_out=oh * ow,
     )
     bwd = LayerCost(
-        name=layer.name, type="Pooling", pass_="backward",
-        flops=n * c * oh * ow * (window if layer.method == "AVE" else 1),
+        name=name, type="Pooling", pass_="backward",
+        flops=n * c * oh * ow * (window if method == "AVE" else 1),
         bytes=in_bytes + out_bytes + idx_bytes,
         space=n * c, segments=n * c, dist="sample-channel",
-        input_bytes=out_bytes, variant=layer.method, plane_out=oh * ow,
+        input_bytes=out_bytes, variant=method, plane_out=oh * ow,
     )
     return [fwd, bwd]
 
 
-def _ip_costs(layer: InnerProductLayer, bottom, top) -> List[LayerCost]:
-    n = layer.outer
-    macs = n * layer.num_output * layer.inner
-    in_bytes = n * layer.inner * BYTES
-    out_bytes = n * layer.num_output * BYTES
-    weight_bytes = layer.blobs[0].count * BYTES
+def ip_costs(
+    name: str, *, outer: int, inner: int, num_output: int, weight_count: int,
+) -> List[LayerCost]:
+    n = outer
+    macs = n * num_output * inner
+    in_bytes = n * inner * BYTES
+    out_bytes = n * num_output * BYTES
+    weight_bytes = weight_count * BYTES
     # Every sample's gemv re-reads the full weight matrix; large weights
     # do not stay cache-resident, so the layer is weight-traffic bound —
     # the mechanism behind the paper's ip1 plateau (Section 4.1.1).
     refetch = min(n, 16)
     fwd = LayerCost(
-        name=layer.name, type="InnerProduct", pass_="forward",
+        name=name, type="InnerProduct", pass_="forward",
         flops=2.0 * macs + out_bytes / BYTES,
         bytes=in_bytes + out_bytes + weight_bytes * refetch,
         space=n, segments=n, dist="sample", input_bytes=in_bytes,
     )
     # backward: dX over samples + dW over output rows (no reduction).
     bwd = LayerCost(
-        name=layer.name, type="InnerProduct", pass_="backward",
+        name=name, type="InnerProduct", pass_="backward",
         flops=4.0 * macs,
         bytes=2 * in_bytes + 2 * out_bytes + weight_bytes * refetch,
-        space=n, segments=n + layer.num_output, dist="sample",
+        space=n, segments=n + num_output, dist="sample",
         input_bytes=out_bytes,
     )
     return [fwd, bwd]
 
 
-def _lrn_costs(layer: LRNLayer, bottom, top) -> List[LayerCost]:
-    n, c, h, w = bottom[0].shape
-    elems = n * c * h * w
+def lrn_costs(name: str, *, n: int, elems: int) -> List[LayerCost]:
     # square, window prefix-sum, scale, power per element.
     fwd = LayerCost(
-        name=layer.name, type="LRN", pass_="forward",
+        name=name, type="LRN", pass_="forward",
         flops=6.0 * elems, bytes=3 * elems * BYTES,
         space=n, segments=n, dist="sample",
         input_bytes=elems * BYTES,
     )
     bwd = LayerCost(
-        name=layer.name, type="LRN", pass_="backward",
+        name=name, type="LRN", pass_="backward",
         flops=8.0 * elems, bytes=5 * elems * BYTES,
         space=n, segments=n, dist="sample",
         input_bytes=elems * BYTES,
@@ -155,17 +180,17 @@ def _lrn_costs(layer: LRNLayer, bottom, top) -> List[LayerCost]:
     return [fwd, bwd]
 
 
-def _neuron_costs(layer: NeuronLayer, bottom, top) -> List[LayerCost]:
-    elems = bottom[0].count
-    batch = bottom[0].shape[0] if bottom[0].num_axes else 1
+def neuron_costs(
+    name: str, type_name: str, *, elems: int, batch: int,
+) -> List[LayerCost]:
     fwd = LayerCost(
-        name=layer.name, type=layer.type, pass_="forward",
+        name=name, type=type_name, pass_="forward",
         flops=float(elems), bytes=2 * elems * BYTES,
         space=elems, segments=max(batch, 1), dist="element",
         input_bytes=elems * BYTES,
     )
     bwd = LayerCost(
-        name=layer.name, type=layer.type, pass_="backward",
+        name=name, type=type_name, pass_="backward",
         flops=float(elems), bytes=3 * elems * BYTES,
         space=elems, segments=max(batch, 1), dist="element",
         input_bytes=elems * BYTES,
@@ -173,36 +198,59 @@ def _neuron_costs(layer: NeuronLayer, bottom, top) -> List[LayerCost]:
     return [fwd, bwd]
 
 
-def _loss_costs(layer, bottom, top) -> List[LayerCost]:
-    n = bottom[0].shape[0]
-    classes = bottom[0].count // n
-    elems = n * classes
+def loss_costs(
+    name: str, type_name: str, *, batch: int, classes: int,
+) -> List[LayerCost]:
+    elems = batch * classes
     fwd = LayerCost(
-        name=layer.name, type=layer.type, pass_="forward",
+        name=name, type=type_name, pass_="forward",
         flops=5.0 * elems, bytes=2 * elems * BYTES,
-        space=n, segments=n, dist="sample",
+        space=batch, segments=batch, dist="sample",
         input_bytes=elems * BYTES,
     )
     bwd = LayerCost(
-        name=layer.name, type=layer.type, pass_="backward",
+        name=name, type=type_name, pass_="backward",
         flops=2.0 * elems, bytes=2 * elems * BYTES,
-        space=n, segments=n, dist="sample",
+        space=batch, segments=batch, dist="sample",
         input_bytes=elems * BYTES,
     )
     return [fwd, bwd]
 
 
-def _data_costs(layer, bottom, top) -> List[LayerCost]:
-    out_bytes = sum(t.count for t in top) * BYTES
+def data_costs(name: str, *, out_count: int) -> List[LayerCost]:
+    out_bytes = out_count * BYTES
     fwd = LayerCost(
-        name=layer.name, type="Data", pass_="forward",
-        flops=float(out_bytes / BYTES), bytes=2 * out_bytes,
+        name=name, type="Data", pass_="forward",
+        flops=float(out_count), bytes=2 * out_bytes,
         space=1, segments=1, dist="serial", serial=True,
         input_bytes=0.0,
     )
     return [fwd]  # no backward
 
 
+def structural_costs(
+    name: str, type_name: str, *, elems: int,
+) -> List[LayerCost]:
+    """Structural layers (Split/Concat/Flatten/...): pure copies."""
+    return [
+        LayerCost(
+            name=name, type=type_name, pass_="forward",
+            flops=0.0, bytes=2 * elems * BYTES,
+            space=max(elems, 1), segments=1, dist="element",
+            input_bytes=elems * BYTES,
+        ),
+        LayerCost(
+            name=name, type=type_name, pass_="backward",
+            flops=float(elems), bytes=2 * elems * BYTES,
+            space=max(elems, 1), segments=1, dist="element",
+            input_bytes=elems * BYTES,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# front end 1: instantiated nets
+# ---------------------------------------------------------------------------
 def net_costs(net: Net, include_accuracy: bool = False) -> List[LayerCost]:
     """Extract forward and backward costs for every layer of ``net``.
 
@@ -214,38 +262,152 @@ def net_costs(net: Net, include_accuracy: bool = False) -> List[LayerCost]:
     for i, layer in enumerate(net.layers):
         bottom, top = net.bottoms[i], net.tops[i]
         if isinstance(layer, (DataLayer, MemoryDataLayer, InputLayer)):
-            out.extend(_data_costs(layer, bottom, top))
+            out.extend(data_costs(
+                layer.name, out_count=sum(t.count for t in top),
+            ))
         elif isinstance(layer, ConvolutionLayer):
-            out.extend(_conv_costs(layer, bottom, top))
+            n, c, h, w = bottom[0].shape
+            _, k, oh, ow = top[0].shape
+            out.extend(conv_costs(
+                layer.name, n=n, c=c, h=h, w=w, k=k, oh=oh, ow=ow,
+                kernel=layer.kernel_h * layer.kernel_w, group=layer.group,
+                weight_count=layer.blobs[0].count,
+                param_count=sum(b.count for b in layer.blobs),
+            ))
         elif isinstance(layer, PoolingLayer):
-            out.extend(_pool_costs(layer, bottom, top))
+            n, c, h, w = bottom[0].shape
+            _, _, oh, ow = top[0].shape
+            out.extend(pool_costs(
+                layer.name, n=n, c=c, h=h, w=w, oh=oh, ow=ow,
+                window=layer.kernel_h * layer.kernel_w, method=layer.method,
+            ))
         elif isinstance(layer, InnerProductLayer):
-            out.extend(_ip_costs(layer, bottom, top))
+            out.extend(ip_costs(
+                layer.name, outer=layer.outer, inner=layer.inner,
+                num_output=layer.num_output,
+                weight_count=layer.blobs[0].count,
+            ))
         elif isinstance(layer, LRNLayer):
-            out.extend(_lrn_costs(layer, bottom, top))
+            out.extend(lrn_costs(
+                layer.name, n=bottom[0].shape[0], elems=bottom[0].count,
+            ))
         elif isinstance(layer, NeuronLayer):
-            out.extend(_neuron_costs(layer, bottom, top))
+            batch = bottom[0].shape[0] if bottom[0].num_axes else 1
+            out.extend(neuron_costs(
+                layer.name, layer.type, elems=bottom[0].count, batch=batch,
+            ))
         elif isinstance(layer, (LossLayer, SoftmaxLayer)):
-            out.extend(_loss_costs(layer, bottom, top))
+            batch = bottom[0].shape[0]
+            out.extend(loss_costs(
+                layer.name, layer.type, batch=batch,
+                classes=bottom[0].count // batch,
+            ))
         elif isinstance(layer, AccuracyLayer):
             if include_accuracy:
-                out.extend(_loss_costs(layer, bottom, top))
+                batch = bottom[0].shape[0]
+                out.extend(loss_costs(
+                    layer.name, layer.type, batch=batch,
+                    classes=bottom[0].count // batch,
+                ))
         else:
-            # Structural layers (Split/Concat/Flatten/...): pure copies.
-            elems = sum(b.count for b in bottom)
-            out.append(LayerCost(
-                name=layer.name, type=layer.type, pass_="forward",
-                flops=0.0, bytes=2 * elems * BYTES,
-                space=max(elems, 1), segments=1, dist="element",
-                input_bytes=elems * BYTES,
-            ))
-            out.append(LayerCost(
-                name=layer.name, type=layer.type, pass_="backward",
-                flops=float(elems), bytes=2 * elems * BYTES,
-                space=max(elems, 1), segments=1, dist="element",
-                input_bytes=elems * BYTES,
+            out.extend(structural_costs(
+                layer.name, layer.type,
+                elems=sum(b.count for b in bottom),
             ))
     return out
+
+
+# ---------------------------------------------------------------------------
+# front end 2: specs, via symbolic shape inference
+# ---------------------------------------------------------------------------
+def spec_costs(
+    spec: NetSpec,
+    phase: str = "TRAIN",
+    batch: Optional[int] = None,
+    include_accuracy: bool = False,
+) -> List[LayerCost]:
+    """Cost the network *symbolically* — same formulas, no instantiation.
+
+    ``batch`` overrides every feeder's batch extent (see
+    :func:`repro.framework.symbolic.infer_net`).  Raises
+    :class:`~repro.framework.shape_inference.ShapeError` (or ``KeyError``
+    for an unregistered layer type) on a spec whose shapes don't check
+    out — run the netcheck linter first for a readable report.
+    """
+    sym = infer_net(spec, phase=phase, batch=batch, strict=True)
+    out: List[LayerCost] = []
+    for inf in sym.layers:
+        layer_spec, bottoms, result = inf.spec, inf.bottoms, inf.result
+        type_name = layer_spec.type.lower()
+        if type_name in _DATA_TYPES:
+            out.extend(data_costs(
+                layer_spec.name,
+                out_count=sum(t.count for t in result.tops),
+            ))
+        elif type_name == "convolution":
+            n, c, h, w = bottoms[0].shape
+            _, k, oh, ow = result.tops[0].shape
+            kernel_h, kernel_w = _pair(layer_spec, "kernel")
+            out.extend(conv_costs(
+                layer_spec.name, n=n, c=c, h=h, w=w, k=k, oh=oh, ow=ow,
+                kernel=kernel_h * kernel_w,
+                group=int(layer_spec.param("group", 1)),
+                weight_count=_shape_count(result.param_shapes[0]),
+                param_count=result.param_count,
+            ))
+        elif type_name == "pooling":
+            n, c, h, w = bottoms[0].shape
+            _, _, oh, ow = result.tops[0].shape
+            kernel_h, kernel_w = _pair(layer_spec, "kernel")
+            out.extend(pool_costs(
+                layer_spec.name, n=n, c=c, h=h, w=w, oh=oh, ow=ow,
+                window=kernel_h * kernel_w,
+                method=str(layer_spec.param("pool", "MAX")).upper(),
+            ))
+        elif type_name == "innerproduct":
+            num_output, inner = result.param_shapes[0]
+            out.extend(ip_costs(
+                layer_spec.name, outer=result.forward_space, inner=inner,
+                num_output=num_output,
+                weight_count=_shape_count(result.param_shapes[0]),
+            ))
+        elif type_name == "lrn":
+            out.extend(lrn_costs(
+                layer_spec.name, n=bottoms[0].shape[0],
+                elems=bottoms[0].count,
+            ))
+        elif type_name in _NEURON_TYPES:
+            batch_ = bottoms[0].shape[0] if bottoms[0].num_axes else 1
+            out.extend(neuron_costs(
+                layer_spec.name, layer_spec.type,
+                elems=bottoms[0].count, batch=batch_,
+            ))
+        elif type_name in _LOSS_TYPES:
+            batch_ = bottoms[0].shape[0]
+            out.extend(loss_costs(
+                layer_spec.name, layer_spec.type, batch=batch_,
+                classes=bottoms[0].count // batch_,
+            ))
+        elif type_name == "accuracy":
+            if include_accuracy:
+                batch_ = bottoms[0].shape[0]
+                out.extend(loss_costs(
+                    layer_spec.name, layer_spec.type, batch=batch_,
+                    classes=bottoms[0].count // batch_,
+                ))
+        else:
+            out.extend(structural_costs(
+                layer_spec.name, layer_spec.type,
+                elems=sum(b.count for b in bottoms),
+            ))
+    return out
+
+
+def _shape_count(shape) -> int:
+    n = 1
+    for dim in shape:
+        n *= dim
+    return n
 
 
 def producer_dist(costs: List[LayerCost], index: int) -> Optional[str]:

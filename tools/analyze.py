@@ -1,10 +1,17 @@
-"""Parallel-safety analyzer entry point.
+"""Analysis entry point: parallel-safety analyzer + net-graph checker.
 
-Thin wrapper so the analyzer can be run straight from a checkout::
+Thin wrapper so both analyses can be run straight from a checkout::
 
     python tools/analyze.py --net lenet --net cifar10 --gate
+    python tools/analyze.py netcheck --prototxt my_net.prototxt --gate
+    python tools/analyze.py netcheck --batch 32 --threads 1,2,8 --json
 
-Equivalent to ``PYTHONPATH=src python -m repro.analysis ...``.
+Flag mode runs the parallel-safety analyzer (static write-footprint
+classification + shadow-memory race replay).  The ``netcheck``
+subcommand runs the net-graph static checker instead: symbolic shape
+inference, DAG lint (NG001-NG009) and the static schedule / memory /
+FLOP plan, all from the spec alone.  Equivalent to
+``PYTHONPATH=src python -m repro.analysis ...``.
 """
 
 import os
