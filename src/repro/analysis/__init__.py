@@ -12,9 +12,17 @@ Two cooperating passes:
   per simulated thread, diff the write sets, and report cross-thread
   overlaps not routed through privatization.
 
+A third pass certifies determinism (:mod:`repro.analysis.rng_lint`,
+:mod:`repro.analysis.detcheck`): static nondeterminism lint (DC001-
+DC007), configuration invariance-tier rules (DC101-DC104), and bitwise
+replay certification of the paper's convergence-invariance property
+(DC201-DC203).  :mod:`repro.analysis.codes` names every FP/RT/NG/DC
+code in one catalogue.
+
 Entry points: :func:`analyze_layer_class` for one class,
 :func:`run_static` / :func:`run_dynamic` / :func:`run_analysis` for
-whole nets, and ``python -m repro.analysis`` for the CLI.
+whole nets, :func:`run_detcheck` / :func:`certify_mode` for the
+determinism certifier, and ``python -m repro.analysis`` for the CLI.
 """
 
 from repro.analysis.footprint import (
@@ -22,10 +30,24 @@ from repro.analysis.footprint import (
     analyze_layer_class,
     builtin_layer_classes,
 )
+from repro.analysis.codes import CODE_CATALOGUE, catalogue_lines
+from repro.analysis.detcheck import (
+    DetcheckReport,
+    Divergence,
+    ModeCertificate,
+    Trajectory,
+    capture_trajectory,
+    certify_mode,
+    classify_config,
+    first_divergence,
+    run_detcheck,
+    ulp_distance,
+)
 from repro.analysis.lint import lint_runtime
 from repro.analysis.race import run_analysis, run_dynamic, run_static
 from repro.analysis.report import (
     ERROR,
+    INFO,
     WARNING,
     AnalysisReport,
     DynamicReport,
@@ -34,21 +56,42 @@ from repro.analysis.report import (
     Race,
     StaticReport,
 )
+from repro.analysis.rng_lint import (
+    analyze_layer_rng,
+    lint_rng,
+    lint_sources,
+)
 
 __all__ = [
+    "CODE_CATALOGUE",
     "ERROR",
+    "INFO",
     "WARNING",
     "AnalysisReport",
+    "DetcheckReport",
+    "Divergence",
     "DynamicReport",
     "Finding",
     "LayerReport",
+    "ModeCertificate",
     "Race",
     "StaticReport",
+    "Trajectory",
     "analyze_classes",
     "analyze_layer_class",
+    "analyze_layer_rng",
     "builtin_layer_classes",
+    "capture_trajectory",
+    "catalogue_lines",
+    "certify_mode",
+    "classify_config",
+    "first_divergence",
+    "lint_rng",
     "lint_runtime",
+    "lint_sources",
     "run_analysis",
+    "run_detcheck",
     "run_dynamic",
     "run_static",
+    "ulp_distance",
 ]

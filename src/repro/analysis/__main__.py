@@ -22,6 +22,21 @@ Subcommand mode (net-graph static checker)::
 blob shape symbolically, and emits the static schedule / memory / FLOP
 plan — all without instantiating a single layer.  With no ``--net`` or
 ``--prototxt`` it checks every zoo net.
+
+Subcommand mode (determinism certifier)::
+
+    python -m repro.analysis detcheck --net lenet --threads 1,2,8 --gate
+    python -m repro.analysis detcheck --mode blockwise --mode atomic --json
+    python -m repro.analysis detcheck --static-only
+
+``detcheck`` runs the static nondeterminism lint (DC001-DC007), the
+configuration invariance-tier rules (DC101-DC104), and — unless
+``--static-only`` — the bitwise replay certifier (DC201-DC203), which
+trains every requested zoo net a few iterations at each thread count
+under each reduction mode and diffs the trajectories bitwise and in
+ULPs against the sequential run.
+
+``--list-codes`` (any mode) prints the full FP/RT/NG/DC catalogue.
 """
 
 from __future__ import annotations
@@ -145,6 +160,92 @@ def netcheck_main(argv) -> int:
     return 0
 
 
+def detcheck_main(argv) -> int:
+    from repro.analysis.detcheck import (
+        DEFAULT_MODES,
+        DEFAULT_THREADS,
+        run_detcheck,
+    )
+    from repro.core.reduction import REDUCTION_MODES, TIER_ORDER
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis detcheck",
+        description="Determinism certifier: static nondeterminism lint "
+                    "(DC001-DC007), configuration invariance-tier rules "
+                    "(DC101-DC104), and bitwise replay certification of "
+                    "convergence invariance (DC201-DC203).",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to certify (repeatable; default: all zoo nets)",
+    )
+    parser.add_argument(
+        "--mode", action="append", default=[], metavar="MODE",
+        choices=list(REDUCTION_MODES),
+        help="reduction mode to certify (repeatable; default: "
+             f"{','.join(DEFAULT_MODES)}; atomic is opt-in — its tier "
+             "promises nothing a gate could enforce)",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads,
+        default=list(DEFAULT_THREADS), metavar="N,N,...",
+        help="thread counts to replay at (default: "
+             f"{','.join(map(str, DEFAULT_THREADS))})",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=2, metavar="N",
+        help="training iterations per replay (default: 2)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=4, metavar="N",
+        help="shrink data-layer batch sizes to N for the replays "
+             "(default: 4)",
+    )
+    parser.add_argument(
+        "--claim", choices=sorted(TIER_ORDER), default=None,
+        help="invariance tier the configuration claims; rejected "
+             "(DC101) when the reduction mode cannot deliver it",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="skip the dynamic replay certification",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable report as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero if any ERROR finding is present",
+    )
+    args = parser.parse_args(argv)
+
+    if args.iters < 1:
+        parser.error(f"--iters must be >= 1, got {args.iters}")
+    if args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
+
+    report = run_detcheck(
+        nets=args.net or ("lenet", "cifar10", "mlp"),
+        modes=args.mode or DEFAULT_MODES,
+        threads=args.threads,
+        iters=args.iters,
+        batch=args.batch,
+        claim=args.claim,
+        static_only=args.static_only,
+    )
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
 def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
     def build():
         from repro.data import register_default_sources
@@ -180,8 +281,16 @@ def _prototxt_factory(path: str) -> Callable[[], object]:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if "--list-codes" in argv:
+        from repro.analysis.codes import catalogue_lines
+
+        for line in catalogue_lines():
+            print(line)
+        return 0
     if argv and argv[0] == "netcheck":
         return netcheck_main(argv[1:])
+    if argv and argv[0] == "detcheck":
+        return detcheck_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

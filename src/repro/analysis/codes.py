@@ -1,0 +1,118 @@
+"""The coded-finding catalogue of the analysis suite.
+
+Three passes, three code families, one place that names them all:
+
+* **FP/RT** — parallel-safety analyzer (PR 1): write-footprint
+  classification and runtime-invariant lint.
+* **NG** — net-graph static checker (PR 2): spec/DAG lint.
+* **DC** — determinism certifier (PR 3): static nondeterminism lint,
+  configuration invariance-tier rules, and dynamic replay certification.
+
+``python -m repro.analysis --list-codes`` prints this table.  Codes are
+stable identifiers: CI configs and suppression lists may reference them,
+so a code is never renumbered or reused once released.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: code -> (pass, default severity, one-line description).
+CODE_CATALOGUE: Dict[str, Tuple[str, str, str]] = {
+    # ---- parallel-safety analyzer: static footprint pass ----
+    "FP001": ("footprint", "error",
+              "layer defines its own chunk method(s) without declaring "
+              "write_footprint"),
+    "FP002": ("footprint", "error",
+              "inferred write classification contradicts the declared "
+              "footprint"),
+    "FP003": ("footprint", "error",
+              "parameter gradients bypass the privatized param_grads "
+              "buffers (or reduction_params understate the accumulated "
+              "indices)"),
+    "FP004": ("footprint", "error",
+              "chunk code writes undeclared or non-chunk-bounded layer "
+              "state (scratch)"),
+    "FP005": ("footprint", "error",
+              "forward_chunk writes outside the chunk bounds without "
+              "forward=SEQUENTIAL"),
+    "FP006": ("footprint", "warning",
+              "a write the analyzer cannot resolve; footprint downgraded "
+              "to unknown"),
+    # ---- parallel-safety analyzer: runtime-invariant lint ----
+    "RT001": ("runtime", "error",
+              "add_into inside a parallel region without "
+              "ctx.ordered/ctx.critical protection"),
+    # ---- net-graph static checker ----
+    "NG001": ("netcheck", "error",
+              "bottom shapes incompatible with the layer's parameters"),
+    "NG002": ("netcheck", "error",
+              "in-place top violates the chunk-write protocol"),
+    "NG003": ("netcheck", "warning",
+              "dead blob: produced but never consumed"),
+    "NG004": ("netcheck", "error",
+              "duplicate producers: a later layer silently shadows a blob"),
+    "NG005": ("netcheck", "warning",
+              "conv/pool pad-stride geometry drops or skips pixels"),
+    "NG006": ("netcheck", "error",
+              "net input declared without an input shape"),
+    "NG007": ("netcheck", "error",
+              "unknown layer type (no registered inference rule)"),
+    "NG008": ("netcheck", "error",
+              "dangling bottom: consumed but never produced"),
+    "NG009": ("netcheck", "error",
+              "duplicate layer name within one phase"),
+    # ---- determinism certifier: static RNG / nondeterminism lint ----
+    "DC001": ("detcheck", "error",
+              "unseeded RNG construction (np.random.default_rng() / "
+              "RandomState() with no seed draws from OS entropy)"),
+    "DC002": ("detcheck", "error",
+              "process-salted seed: hash()/id() derived values differ "
+              "across interpreter processes (PYTHONHASHSEED)"),
+    "DC003": ("detcheck", "error",
+              "wall-clock or OS-entropy value feeding RNG state "
+              "(time.*, os.urandom, uuid, secrets inside a seed)"),
+    "DC004": ("detcheck", "error",
+              "RNG draw inside chunk-parallel code: the draw count/order "
+              "depends on the chunk schedule and thread count"),
+    "DC005": ("detcheck", "error",
+              "legacy global numpy RNG stream (np.random.rand/seed/...): "
+              "draw order couples unrelated call sites"),
+    "DC006": ("detcheck", "error",
+              "layer constructs an RNG but declares no rng_provenance"),
+    "DC007": ("detcheck", "error",
+              "rng_provenance declaration inconsistent with the layer "
+              "source (seed params never read, wrong draw site, or "
+              "missing stable_seed fallback)"),
+    # ---- determinism certifier: configuration tier rules ----
+    "DC101": ("detcheck", "error",
+              "configuration claims an invariance tier its reduction "
+              "mode cannot deliver (e.g. atomic claiming bitwise)"),
+    "DC102": ("detcheck", "error",
+              "ordered/tree reduction under a dynamic or guided schedule "
+              "degrades to nondeterministic"),
+    "DC103": ("detcheck", "error",
+              "stochastic layer with undeclared RNG provenance in a "
+              "certified configuration"),
+    "DC104": ("detcheck", "warning",
+              "solver type outside the deterministic-certified set"),
+    # ---- determinism certifier: dynamic replay certification ----
+    "DC201": ("detcheck", "error",
+              "bitwise invariance violated: parallel replay diverges from "
+              "the sequential trajectory where the tier promises equality"),
+    "DC202": ("detcheck", "error",
+              "per-thread-count determinism violated: two runs of the "
+              "same configuration diverge"),
+    "DC203": ("detcheck", "info",
+              "divergence observed within the declared tier (first "
+              "diverging layer/iteration and ULP distance reported)"),
+}
+
+
+def catalogue_lines() -> List[str]:
+    """Human-readable rendering of the full code catalogue."""
+    lines = [f"{len(CODE_CATALOGUE)} finding codes "
+             "(FP/RT: parallel-safety, NG: netcheck, DC: detcheck)"]
+    for code, (pass_name, severity, desc) in sorted(CODE_CATALOGUE.items()):
+        lines.append(f"  {code}  {pass_name:<10} {severity:<8} {desc}")
+    return lines

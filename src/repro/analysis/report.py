@@ -16,6 +16,7 @@ from repro.framework.layer import FootprintDecl
 #: Finding severities.  Only ``ERROR`` findings fail the ``--gate``.
 ERROR = "error"
 WARNING = "warning"
+INFO = "info"
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,12 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.privatization import PrivatePool
-from repro.core.reduction import REDUCTION_MODES, add_into, tree_combine
+from repro.core.reduction import (
+    REDUCTION_MODES,
+    add_into,
+    invariance_tier,
+    tree_combine,
+)
 from repro.core.scheduling import Schedule, StaticSchedule
 from repro.core.team import RegionContext, ThreadTeam
 from repro.framework.layer import LoopSpec
@@ -151,6 +156,13 @@ class ParallelExecutor:
     @property
     def num_threads(self) -> int:
         return self.team.num_threads
+
+    @property
+    def invariance_tier(self) -> str:
+        """Strongest invariance tier this configuration can promise
+        (see :mod:`repro.core.reduction`); the determinism certifier
+        verifies the promise dynamically."""
+        return invariance_tier(self.reduction, self.schedule.is_static)
 
     def _record(
         self, layer: str, phase: str, lo: int, hi: int, tid: int,

@@ -31,6 +31,55 @@ import numpy as np
 
 REDUCTION_MODES = ("ordered", "atomic", "tree", "blockwise")
 
+# ---------------------------------------------------------------------------
+# invariance tiers (what each merge mode can promise; see DESIGN.md 5d)
+# ---------------------------------------------------------------------------
+#: The merged value is bitwise identical for every thread count (and equal
+#: to the sequential accumulation) — the strongest reading of the paper's
+#: convergence-invariance claim.
+BITWISE_INVARIANT = "bitwise_invariant"
+#: The merged value is bitwise reproducible for a *fixed* thread count but
+#: its rounding differs across thread counts (per-thread partial sums are
+#: re-associated differently).
+DETERMINISTIC_PER_T = "deterministic_per_t"
+#: The merge order depends on thread completion order; two runs of the same
+#: configuration may differ ("would not ensure the same update value").
+NONDETERMINISTIC = "nondeterministic"
+
+#: Tier strength, weakest to strongest; used to compare claims to promises.
+TIER_ORDER = {NONDETERMINISTIC: 0, DETERMINISTIC_PER_T: 1, BITWISE_INVARIANT: 2}
+
+#: What each reduction mode promises under a static schedule.  The
+#: determinism certifier (``repro.analysis.detcheck``) statically rejects
+#: configurations claiming more than this and dynamically verifies that
+#: each mode actually delivers it.
+REDUCTION_TIERS = {
+    "blockwise": BITWISE_INVARIANT,
+    "ordered": DETERMINISTIC_PER_T,
+    "tree": DETERMINISTIC_PER_T,
+    "atomic": NONDETERMINISTIC,
+}
+
+
+def invariance_tier(mode: str, static_schedule: bool = True) -> str:
+    """Invariance tier a reduction mode delivers.
+
+    ``ordered`` and ``tree`` owe their per-thread-count determinism to the
+    static chunk plan: under a dynamic/guided schedule the chunks a thread
+    accumulates depend on timing, so their tier degrades to
+    :data:`NONDETERMINISTIC`.  ``blockwise`` is schedule-independent —
+    block boundaries and the merge order are fixed regardless of which
+    thread computes which block.
+    """
+    if mode not in REDUCTION_TIERS:
+        raise ValueError(
+            f"unknown reduction mode {mode!r}; expected one of "
+            f"{REDUCTION_MODES}"
+        )
+    if not static_schedule and mode in ("ordered", "tree"):
+        return NONDETERMINISTIC
+    return REDUCTION_TIERS[mode]
+
 
 def add_into(targets: Sequence[np.ndarray], partials: Sequence[np.ndarray]) -> None:
     """``targets[i] += partials[i]`` element-wise."""

@@ -9,12 +9,26 @@ must start from identical coefficients.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict
 
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
+
+
+def stable_seed(name: str) -> int:
+    """Process-invariant fallback filler seed derived from a layer name.
+
+    ``hash(name)`` is salted per interpreter process under hash
+    randomization (PYTHONHASHSEED), so two processes deriving a fallback
+    seed from the same layer name would initialize the same network
+    differently — exactly the cross-process nondeterminism the
+    convergence-invariance experiments forbid.  CRC-32 is a fixed function
+    of the bytes: same name, same seed, in every process forever.
+    """
+    return zlib.crc32(name.encode("utf-8")) % (2**31)
 
 
 @dataclass

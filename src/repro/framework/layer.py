@@ -99,6 +99,66 @@ class FootprintDecl:
             )
 
 
+# ---------------------------------------------------------------------------
+# RNG provenance (the determinism contract, checked by repro.analysis.detcheck)
+# ---------------------------------------------------------------------------
+#: Where a layer's RNG draws happen.  ``setup`` — only during
+#: :meth:`Layer.layer_setup` (parameter fillers; one fixed draw sequence
+#: per construction).  ``per_forward`` — once per forward pass, in the
+#: *sequential* :meth:`Layer.reshape` prologue (Dropout's mask), so the
+#: draw count and order never depend on the thread count or chunking.
+#: Draws inside chunk methods are never declarable: they are a
+#: nondeterminism hazard by construction (lint DC004).
+RNG_SETUP = "setup"
+RNG_PER_FORWARD = "per_forward"
+
+_RNG_DRAW_SITES = (RNG_SETUP, RNG_PER_FORWARD)
+_RNG_FALLBACKS = ("constant", "stable_digest")
+
+
+@dataclass(frozen=True)
+class RNGDecl:
+    """A layer's declared RNG provenance, checked by the determinism
+    certifier (``repro.analysis.detcheck``).
+
+    Attributes
+    ----------
+    seed_params:
+        Spec parameter names the seed is read from (e.g.
+        ``("filler_seed",)``); detcheck verifies the layer source actually
+        reads each one.
+    fallback:
+        How the seed defaults when the spec omits every ``seed_params``
+        entry: ``"constant"`` (a literal default) or ``"stable_digest"``
+        (a process-invariant digest of the layer name via
+        :func:`repro.framework.fillers.stable_seed` — never ``hash()``,
+        which is salted per process under hash randomization).
+    draws:
+        :data:`RNG_SETUP` or :data:`RNG_PER_FORWARD` (see above).
+    """
+
+    seed_params: Tuple[str, ...]
+    fallback: str = "constant"
+    draws: str = RNG_SETUP
+
+    def __post_init__(self) -> None:
+        if not self.seed_params:
+            raise ValueError(
+                "an RNGDecl must name at least one seed parameter; a layer "
+                "without seedable RNG should declare no provenance at all"
+            )
+        if self.fallback not in _RNG_FALLBACKS:
+            raise ValueError(
+                f"RNGDecl fallback={self.fallback!r} is not one of "
+                f"{_RNG_FALLBACKS}"
+            )
+        if self.draws not in _RNG_DRAW_SITES:
+            raise ValueError(
+                f"RNGDecl draws={self.draws!r} is not one of "
+                f"{_RNG_DRAW_SITES}"
+            )
+
+
 @dataclass
 class LoopSpec:
     """One parallel loop of a layer's backward pass.
@@ -163,6 +223,12 @@ class Layer:
     #: means undeclared; ``repro.analysis`` flags any class that defines
     #: its own chunk methods without also declaring a footprint.
     write_footprint: FootprintDecl | None = None
+
+    #: Declared RNG provenance (see :class:`RNGDecl`).  ``None`` means the
+    #: layer draws no random numbers; ``repro.analysis.detcheck`` flags any
+    #: class whose own methods construct an RNG without declaring where its
+    #: seed comes from and when it draws (lint DC006).
+    rng_provenance: RNGDecl | None = None
 
     def __init__(self, spec: LayerSpec) -> None:
         self.spec = spec

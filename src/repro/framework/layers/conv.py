@@ -17,8 +17,14 @@ import numpy as np
 from repro import blaslib
 from repro.blaslib.im2col import conv_out_size
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.fillers import FillerSpec, fill
-from repro.framework.layer import FootprintDecl, Layer, REDUCTION, register_layer
+from repro.framework.fillers import FillerSpec, fill, stable_seed
+from repro.framework.layer import (
+    FootprintDecl,
+    Layer,
+    REDUCTION,
+    RNGDecl,
+    register_layer,
+)
 from repro.framework.shape_inference import (
     NOTE_DROPPED_PIXELS,
     BlobInfo,
@@ -66,6 +72,9 @@ class ConvolutionLayer(Layer):
         backward=REDUCTION, reduction_params=(0, 1)
     )
 
+    rng_provenance = RNGDecl(seed_params=("filler_seed",),
+                             fallback="stable_digest")
+
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec
         self.num_output = int(spec.require("num_output"))
@@ -104,9 +113,7 @@ class ConvolutionLayer(Layer):
             self.blobs.append(bias)
 
     def _filler_rng(self) -> np.random.Generator:
-        seed = int(self.spec.param("filler_seed", 0)) or abs(hash(self.name)) % (
-            2**31
-        )
+        seed = int(self.spec.param("filler_seed", 0)) or stable_seed(self.name)
         return np.random.default_rng(seed)
 
     def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:

@@ -16,7 +16,12 @@ import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.layers.neuron import NeuronLayer
-from repro.framework.layer import FootprintDecl, register_layer
+from repro.framework.layer import (
+    FootprintDecl,
+    RNG_PER_FORWARD,
+    RNGDecl,
+    register_layer,
+)
 from repro.framework.shape_inference import (
     BlobInfo,
     RuleResult,
@@ -41,6 +46,13 @@ class DropoutLayer(NeuronLayer):
     # The mask is drawn in reshape() (sequential) and only *read* inside
     # the chunked loops, so no scratch entry is needed.
     write_footprint = FootprintDecl()
+
+    # One whole-batch mask per forward pass, drawn in the sequential
+    # reshape() prologue from an explicitly seeded generator — the draw
+    # count and order are independent of thread count and chunking, which
+    # is what lets detcheck certify stochastic nets.
+    rng_provenance = RNGDecl(seed_params=("seed",), fallback="constant",
+                             draws=RNG_PER_FORWARD)
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.ratio = float(self.spec.param("dropout_ratio", 0.5))

@@ -17,8 +17,8 @@ import numpy as np
 
 from repro import blaslib
 from repro.framework.blob import Blob
-from repro.framework.fillers import fill
-from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.fillers import fill, stable_seed
+from repro.framework.layer import FootprintDecl, Layer, RNGDecl, register_layer
 from repro.framework.layers.conv import _filler_spec
 from repro.framework.shape_inference import (
     BlobInfo,
@@ -45,6 +45,9 @@ class InnerProductLayer(Layer):
     # footprint is sample-disjoint despite the generic backward_chunk.
     write_footprint = FootprintDecl()
 
+    rng_provenance = RNGDecl(seed_params=("filler_seed",),
+                             fallback="stable_digest")
+
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec
         self.num_output = int(spec.require("num_output"))
@@ -56,7 +59,7 @@ class InnerProductLayer(Layer):
         self.inner = inner
 
         rng = np.random.default_rng(
-            int(spec.param("filler_seed", 0)) or abs(hash(self.name)) % (2**31)
+            int(spec.param("filler_seed", 0)) or stable_seed(self.name)
         )
         weights = Blob((self.num_output, inner), name=f"{self.name}.weights")
         fill(weights, _filler_spec(spec.param("weight_filler")), rng)

@@ -18,8 +18,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.fillers import fill
-from repro.framework.layer import FootprintDecl, Layer, LoopSpec, register_layer
+from repro.framework.fillers import fill, stable_seed
+from repro.framework.layer import (
+    FootprintDecl,
+    Layer,
+    LoopSpec,
+    RNGDecl,
+    register_layer,
+)
 from repro.framework.layers.conv import _filler_spec
 from repro.framework.shape_inference import (
     BlobInfo,
@@ -73,12 +79,14 @@ class ScaleLayer(_ChannelAffineBase):
     # and channels; no privatized reduction is executed.
     write_footprint = FootprintDecl()
 
+    rng_provenance = RNGDecl(seed_params=("filler_seed",),
+                             fallback="stable_digest")
+
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self._setup_geometry(bottom)
         self.bias_term = bool(self.spec.param("bias_term", False))
         rng = np.random.default_rng(
-            int(self.spec.param("filler_seed", 0))
-            or abs(hash(self.name)) % (2**31)
+            int(self.spec.param("filler_seed", 0)) or stable_seed(self.name)
         )
         gamma = Blob((self.channels,), name=f"{self.name}.scale")
         filler = self.spec.param("filler")
@@ -160,11 +168,13 @@ class BiasLayer(_ChannelAffineBase):
 
     write_footprint = FootprintDecl()
 
+    rng_provenance = RNGDecl(seed_params=("filler_seed",),
+                             fallback="stable_digest")
+
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self._setup_geometry(bottom)
         rng = np.random.default_rng(
-            int(self.spec.param("filler_seed", 0))
-            or abs(hash(self.name)) % (2**31)
+            int(self.spec.param("filler_seed", 0)) or stable_seed(self.name)
         )
         beta = Blob((self.channels,), name=f"{self.name}.bias")
         fill(beta, _filler_spec(self.spec.param("filler")), rng)

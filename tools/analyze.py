@@ -1,17 +1,21 @@
-"""Analysis entry point: parallel-safety analyzer + net-graph checker.
+"""Analysis entry point: safety analyzer + net checker + detcheck.
 
-Thin wrapper so both analyses can be run straight from a checkout::
+Thin wrapper so every analysis can be run straight from a checkout::
 
     python tools/analyze.py --net lenet --net cifar10 --gate
     python tools/analyze.py netcheck --prototxt my_net.prototxt --gate
-    python tools/analyze.py netcheck --batch 32 --threads 1,2,8 --json
+    python tools/analyze.py detcheck --net lenet --threads 1,2,8 --gate
+    python tools/analyze.py --list-codes
 
 Flag mode runs the parallel-safety analyzer (static write-footprint
 classification + shadow-memory race replay).  The ``netcheck``
-subcommand runs the net-graph static checker instead: symbolic shape
-inference, DAG lint (NG001-NG009) and the static schedule / memory /
-FLOP plan, all from the spec alone.  Equivalent to
-``PYTHONPATH=src python -m repro.analysis ...``.
+subcommand runs the net-graph static checker (symbolic shape inference,
+DAG lint NG001-NG009, static schedule / memory / FLOP plan).  The
+``detcheck`` subcommand runs the determinism certifier: static
+nondeterminism lint (DC001-DC007), configuration invariance-tier rules
+(DC101-DC104), and bitwise replay certification of convergence
+invariance (DC201-DC203).  ``--list-codes`` prints the full FP/RT/NG/DC
+catalogue.  Equivalent to ``PYTHONPATH=src python -m repro.analysis``.
 """
 
 import os
