@@ -36,7 +36,24 @@ trains every requested zoo net a few iterations at each thread count
 under each reduction mode and diffs the trajectories bitwise and in
 ULPs against the sequential run.
 
-``--list-codes`` (any mode) prints the full FP/RT/NG/DC catalogue.
+Subcommand mode (resilience certifier)::
+
+    python -m repro.analysis rescheck --net lenet --threads 1,2,8 --gate
+    python -m repro.analysis rescheck --mode blockwise --json
+    python -m repro.analysis rescheck --static-only
+
+``rescheck`` runs the static state-safety lint (RS001-RS004: raw
+serialization outside the atomic checkpoint writer, uncapturable RNG
+streams, cursorless batch sources), then — unless ``--static-only`` —
+certifies per net x reduction mode x thread count that a mid-run
+checkpoint + fresh-solver resume is bitwise identical to the
+uninterrupted run (RS101/RS102), and fires the deterministic
+fault-injection harness (RS201-RS204): chunk aborts, in-layer
+exceptions, NaN injection under every guard policy, and corrupt /
+truncated / old-format checkpoint files.  ``--skip-faults`` certifies
+resume only.
+
+``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS catalogue.
 """
 
 from __future__ import annotations
@@ -246,6 +263,95 @@ def detcheck_main(argv) -> int:
     return 0
 
 
+def rescheck_main(argv) -> int:
+    from repro.analysis.rescheck import (
+        DEFAULT_MODES,
+        DEFAULT_THREADS,
+        run_rescheck,
+    )
+    from repro.core.reduction import REDUCTION_MODES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis rescheck",
+        description="Resilience certifier: static state-safety lint "
+                    "(RS001-RS004), bitwise checkpoint/resume "
+                    "certification (RS101-RS102), and fault-injection "
+                    "recovery certification (RS201-RS204).",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to certify (repeatable; default: all zoo nets)",
+    )
+    parser.add_argument(
+        "--mode", action="append", default=[], metavar="MODE",
+        choices=list(REDUCTION_MODES),
+        help="reduction mode to certify resume under (repeatable; "
+             f"default: {','.join(DEFAULT_MODES)}; atomic is opt-in — "
+             "its tier promises nothing bitwise a resume could be "
+             "checked against)",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads,
+        default=list(DEFAULT_THREADS), metavar="N,N,...",
+        help="thread counts to certify at (default: "
+             f"{','.join(map(str, DEFAULT_THREADS))}; faults fire at "
+             "the highest count)",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=2, metavar="N",
+        help="training iterations per certification run (default: 2; "
+             "the checkpoint lands at the midpoint)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=4, metavar="N",
+        help="shrink data-layer batch sizes to N for the runs "
+             "(default: 4)",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="run only the static state-safety lint",
+    )
+    parser.add_argument(
+        "--skip-faults", action="store_true",
+        help="certify checkpoint/resume but skip the fault-injection "
+             "harness",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable report as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero if any ERROR finding is present",
+    )
+    args = parser.parse_args(argv)
+
+    if args.iters < 1:
+        parser.error(f"--iters must be >= 1, got {args.iters}")
+    if args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
+
+    report = run_rescheck(
+        nets=args.net or ("lenet", "cifar10", "mlp"),
+        modes=args.mode or DEFAULT_MODES,
+        threads=args.threads,
+        iters=args.iters,
+        batch=args.batch,
+        static_only=args.static_only,
+        skip_faults=args.skip_faults,
+    )
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
 def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
     def build():
         from repro.data import register_default_sources
@@ -291,6 +397,8 @@ def main(argv=None) -> int:
         return netcheck_main(argv[1:])
     if argv and argv[0] == "detcheck":
         return detcheck_main(argv[1:])
+    if argv and argv[0] == "rescheck":
+        return rescheck_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

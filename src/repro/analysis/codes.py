@@ -1,12 +1,15 @@
 """The coded-finding catalogue of the analysis suite.
 
-Three passes, three code families, one place that names them all:
+Four passes, four code families, one place that names them all:
 
 * **FP/RT** — parallel-safety analyzer (PR 1): write-footprint
   classification and runtime-invariant lint.
 * **NG** — net-graph static checker (PR 2): spec/DAG lint.
 * **DC** — determinism certifier (PR 3): static nondeterminism lint,
   configuration invariance-tier rules, and dynamic replay certification.
+* **RS** — resilience certifier (PR 5): unguarded-state-write lint,
+  checkpoint/resume bitwise certification, and fault-injection
+  recovery certification.
 
 ``python -m repro.analysis --list-codes`` prints this table.  Codes are
 stable identifiers: CI configs and suppression lists may reference them,
@@ -106,13 +109,54 @@ CODE_CATALOGUE: Dict[str, Tuple[str, str, str]] = {
     "DC203": ("detcheck", "info",
               "divergence observed within the declared tier (first "
               "diverging layer/iteration and ULP distance reported)"),
+    # ---- resilience certifier: static state-safety lint ----
+    "RS001": ("rescheck", "error",
+              "state written in place (np.savez/np.save outside the "
+              "atomic checkpoint writer): a crash mid-save destroys the "
+              "previous snapshot"),
+    "RS002": ("rescheck", "error",
+              "state read without digest verification (np.load outside "
+              "the verified loaders): corruption surfaces as a raw "
+              "zipfile error instead of a coded rejection"),
+    "RS003": ("rescheck", "error",
+              "per-forward RNG stream not checkpoint-capturable (layer "
+              "never stores its generator in self._rng)"),
+    "RS004": ("rescheck", "error",
+              "batch source without get_state/set_state: the stream "
+              "cursor is trajectory state and would be lost on resume"),
+    # ---- resilience certifier: checkpoint/resume certification ----
+    "RS101": ("rescheck", "error",
+              "resume divergence: the trajectory resumed from a "
+              "mid-run checkpoint is not bitwise equal to the "
+              "uninterrupted run at the same (net, mode, threads)"),
+    "RS102": ("rescheck", "error",
+              "state loss on roundtrip: save -> load -> save is not "
+              "bitwise stable"),
+    # ---- resilience certifier: fault-injection certification ----
+    "RS201": ("rescheck", "error",
+              "fault containment failure: an injected fault hung the "
+              "runtime, masked its root cause, left the thread team "
+              "unusable, or left torn state"),
+    "RS202": ("rescheck", "error",
+              "post-crash resume divergence: recovery from the last "
+              "pre-crash checkpoint does not rejoin the reference "
+              "trajectory bitwise"),
+    "RS203": ("rescheck", "error",
+              "guard policy not honoured: halt/skip-batch/rollback did "
+              "not deliver its promised recovery behaviour on an "
+              "injected NaN"),
+    "RS204": ("rescheck", "error",
+              "damaged checkpoint accepted: a corrupt, truncated, or "
+              "pre-resilience snapshot must be rejected with a coded "
+              "CheckpointCorrupt/CheckpointFormatError"),
 }
 
 
 def catalogue_lines() -> List[str]:
     """Human-readable rendering of the full code catalogue."""
     lines = [f"{len(CODE_CATALOGUE)} finding codes "
-             "(FP/RT: parallel-safety, NG: netcheck, DC: detcheck)"]
+             "(FP/RT: parallel-safety, NG: netcheck, DC: detcheck, "
+             "RS: rescheck)"]
     for code, (pass_name, severity, desc) in sorted(CODE_CATALOGUE.items()):
         lines.append(f"  {code}  {pass_name:<10} {severity:<8} {desc}")
     return lines

@@ -1,0 +1,796 @@
+"""Resilience certifier: static state-write lint + dynamic recovery gate.
+
+Fourth coded analysis pass (after FP/RT, NG, DC).  The paper's
+convergence-invariance claim survives a real training run only if the
+runtime can crash, resume, and contain faults *without forking the
+certified trajectory* — that is what this pass proves, per zoo net and
+reduction mode:
+
+1. **Static lint** (RS001-RS004) — parses the runtime sources and
+   inspects the registered layer / batch-source classes for state that
+   would escape the resilience machinery: raw ``np.savez``/``np.save``
+   outside the atomic checkpoint writer (a crash mid-save destroys the
+   previous snapshot), raw ``np.load`` (corruption surfaces as a zipfile
+   traceback instead of a coded error), per-forward RNG streams the
+   checkpoint cannot capture, and batch sources without a cursor.
+2. **Resume certification** (RS101/RS102) — for each net x mode x T:
+   train ``iters`` iterations uninterrupted, then train with a
+   checkpoint+fresh-process-style resume at the midpoint, and diff the
+   two trajectories bitwise (loss, update values, parameters, every
+   iteration).  Within each certified mode's invariance tier the resumed
+   run must be byte-identical.  Save -> load -> save must also be
+   bitwise stable (no silent state loss).
+3. **Fault certification** (RS201-RS204) — the deterministic injection
+   harness (:mod:`repro.resilience.faults`) fires every fault class and
+   the certifier checks the *configured* recovery behaviour: a chunk
+   abort must surface its root cause and leave the thread team reusable
+   (no hang, no torn state); a layer exception under a
+   :class:`~repro.resilience.guards.HealthGuard` must restore the
+   pre-iteration state bitwise; NaN injection must honour each guard
+   policy (halt / skip-batch / rollback); a crash after a checkpoint
+   must resume onto the reference trajectory; and corrupt / truncated /
+   old-format checkpoint files must be rejected with coded errors.
+
+``--gate`` fails on any ERROR finding, like the sibling passes.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.codes import CODE_CATALOGUE
+from repro.analysis.detcheck import (
+    IterationSnapshot,
+    Trajectory,
+    _build_solver,
+    capture_trajectory,
+    first_divergence,
+)
+from repro.analysis.report import ERROR, Finding
+from repro.analysis.rng_lint import _dotted, class_constructs_rng
+
+#: Modes certified by default; atomic's tier promises nothing bitwise a
+#: resume could be checked against, so it is opt-in (mirrors detcheck).
+DEFAULT_MODES = ("blockwise", "ordered", "tree")
+DEFAULT_THREADS = (1, 2, 8)
+
+#: Wall-clock bound for any injected-fault run; exceeding it is a hang
+#: (RS201), the exact failure mode a broken barrier abort produces.
+FAULT_TIMEOUT_S = 60.0
+
+#: Files allowed to call np.savez/np.load directly: the atomic writer
+#: itself is the single place raw serialization is supposed to live.
+_WRITER_ALLOWLIST = ("resilience/checkpoint.py",)
+
+
+# ---------------------------------------------------------------------------
+# static lint (RS001-RS004)
+# ---------------------------------------------------------------------------
+_RAW_WRITERS = {"savez", "savez_compressed", "save"}
+_NUMPY_NAMES = ("np", "numpy")
+
+
+def _default_state_roots() -> List[Path]:
+    import repro.core
+    import repro.data
+    import repro.framework
+    import repro.resilience
+    import repro.tools
+
+    return [Path(pkg.__file__).parent for pkg in (
+        repro.core, repro.framework, repro.data, repro.resilience,
+        repro.tools,
+    )]
+
+
+def lint_state_writes(
+    roots: Optional[Iterable[Path]] = None,
+) -> List[Finding]:
+    """RS001/RS002: raw serialization outside the atomic writer."""
+    findings: List[Finding] = []
+    for root in (roots if roots is not None else _default_state_roots()):
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            posix = path.as_posix()
+            if any(posix.endswith(allowed) for allowed in _WRITER_ALLOWLIST):
+                continue
+            try:
+                tree = ast.parse(path.read_text())
+            except (OSError, SyntaxError) as exc:
+                findings.append(Finding(
+                    rule="RS001", severity=ERROR, layer=f"<{path.stem}>",
+                    message=f"cannot parse {path}: {exc}",
+                ))
+                continue
+            findings.extend(_scan_state_calls(tree, path))
+    return findings
+
+
+def _scan_state_calls(tree: ast.AST, path: Path) -> List[Finding]:
+    findings: List[Finding] = []
+    where = f"<{path.stem}>"
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted(node.func)
+        if chain is None or len(chain) < 2 or chain[-2] not in _NUMPY_NAMES:
+            continue
+        if chain[-1] in _RAW_WRITERS:
+            findings.append(Finding(
+                rule="RS001", severity=ERROR, layer=where,
+                message=(
+                    f"np.{chain[-1]} writes state in place: a crash "
+                    "mid-save destroys the previous snapshot; route the "
+                    "write through repro.resilience.checkpoint "
+                    "(atomic temp + os.replace, CRC-32)"
+                ),
+                location=f"{path}:{node.lineno}",
+            ))
+        elif chain[-1] == "load":
+            findings.append(Finding(
+                rule="RS002", severity=ERROR, layer=where,
+                message=(
+                    "np.load without digest verification: a corrupt or "
+                    "truncated file surfaces a raw zipfile error; use "
+                    "repro.resilience.checkpoint's verified loaders"
+                ),
+                location=f"{path}:{node.lineno}",
+            ))
+    return findings
+
+
+def _assigns_self_rng(cls) -> bool:
+    """Does the class source assign ``self._rng`` (the capture hook)?"""
+    from repro.analysis.rng_lint import _own_method_trees
+
+    for node in _own_method_trees(cls).values():
+        for sub in ast.walk(node):
+            if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = sub.targets if isinstance(sub, ast.Assign) \
+                else [sub.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr == "_rng"
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    return True
+    return False
+
+
+def lint_rng_capture(
+    classes: Optional[Sequence[type]] = None,
+) -> List[Finding]:
+    """RS003: per-forward random streams must be checkpoint-capturable.
+
+    A layer that declares ``draws='per_forward'`` holds a live stream
+    whose position is trajectory state; :meth:`Layer.rng_state` captures
+    it through the ``self._rng`` convention.  A per-forward drawer that
+    stores its generator anywhere else silently forks on resume.
+    """
+    from repro.framework.layer import RNG_PER_FORWARD
+
+    if classes is None:
+        from repro.analysis.footprint import builtin_layer_classes
+
+        classes = list(builtin_layer_classes().values())
+    findings: List[Finding] = []
+    for cls in classes:
+        decl = getattr(cls, "rng_provenance", None)
+        if decl is None or decl.draws != RNG_PER_FORWARD:
+            continue
+        constructs = any(class_constructs_rng(c) for c in cls.__mro__
+                         if c is not object)
+        if constructs and not any(
+                _assigns_self_rng(c) for c in cls.__mro__ if c is not object):
+            findings.append(Finding(
+                rule="RS003", severity=ERROR, layer=cls.__name__,
+                message=(
+                    "draws per-forward random numbers but never stores "
+                    "its generator in self._rng, so rng_state() cannot "
+                    "capture the stream; a resumed run would fork the "
+                    "draw sequence"
+                ),
+            ))
+    return findings
+
+
+def lint_batch_sources(
+    classes: Optional[Sequence[type]] = None,
+) -> List[Finding]:
+    """RS004: every concrete batch source must expose its cursor."""
+    if classes is None:
+        import inspect
+
+        import repro.data.batch_source as module
+
+        classes = [
+            cls for _, cls in inspect.getmembers(module, inspect.isclass)
+            if cls.__module__ == module.__name__
+            and hasattr(cls, "next_batch")
+            and not inspect.isabstract(cls)
+            and cls.__name__ != "BatchSource"  # the Protocol itself
+        ]
+    findings: List[Finding] = []
+    for cls in classes:
+        missing = [name for name in ("get_state", "set_state")
+                   if not callable(getattr(cls, name, None))]
+        if missing:
+            findings.append(Finding(
+                rule="RS004", severity=ERROR, layer=cls.__name__,
+                message=(
+                    f"batch source lacks {'/'.join(missing)}: the stream "
+                    "cursor is trajectory state; without it a resumed "
+                    "run replays or skips samples"
+                ),
+            ))
+    return findings
+
+
+def lint_resilience() -> List[Finding]:
+    """The full static RS0xx pass."""
+    return lint_state_writes() + lint_rng_capture() + lint_batch_sources()
+
+
+# ---------------------------------------------------------------------------
+# resume certification (RS101 / RS102)
+# ---------------------------------------------------------------------------
+def _capture_segment(solver, iters: int) -> List[IterationSnapshot]:
+    net = solver.net
+    snapshots = []
+    for _ in range(iters):
+        solver.step(1)
+        snapshots.append(IterationSnapshot(
+            loss=solver.loss_history[-1],
+            updates=tuple(b.flat_diff.copy() for b in net.learnable_params),
+            params=tuple(b.flat_data.copy() for b in net.learnable_params),
+        ))
+    return snapshots
+
+
+def _state_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(
+        a[k].dtype == b[k].dtype
+        and a[k].shape == b[k].shape
+        and np.array_equal(a[k], b[k])
+        for k in a
+    )
+
+
+def capture_resumed_trajectory(
+    name: str,
+    iters: int,
+    resume_at: int,
+    path: str,
+    batch: Optional[int] = None,
+    threads: int = 0,
+    mode: str = "blockwise",
+) -> Tuple[Trajectory, bool]:
+    """Train with a save at ``resume_at`` and a fresh-solver resume.
+
+    Models the crash/restart cycle exactly: the first solver trains to
+    the midpoint and checkpoints; a *brand new* solver (fresh net, fresh
+    RNGs, fresh data source — nothing survives but the file) restores it
+    and finishes the run.  Returns the stitched trajectory plus whether
+    save -> load -> save was bitwise stable (the RS102 roundtrip).
+    """
+    from repro.core import ParallelExecutor
+    from repro.resilience.checkpoint import capture_state, checked_load
+
+    def make_executor():
+        if threads == 0:
+            return None
+        return ParallelExecutor(num_threads=threads, reduction=mode)
+
+    executor = make_executor()
+    try:
+        first = _build_solver(name, iters, batch, executor)
+        snapshots = _capture_segment(first, resume_at)
+        first.save_state(path)
+    finally:
+        if executor is not None:
+            executor.close()
+
+    executor = make_executor()
+    try:
+        second = _build_solver(name, iters, batch, executor)
+        second.load_state(path)
+        roundtrip_ok = _state_equal(checked_load(path),
+                                    capture_state(second))
+        snapshots.extend(_capture_segment(second, iters - resume_at))
+        trajectory = Trajectory(
+            param_names=tuple(b.name
+                              for b in second.net.learnable_params),
+            param_owners=tuple(second.net.param_owners),
+            snapshots=tuple(snapshots),
+        )
+    finally:
+        if executor is not None:
+            executor.close()
+    return trajectory, roundtrip_ok
+
+
+@dataclass
+class ResumeCertificate:
+    """Checkpoint/resume evidence for one (net, reduction mode) pair."""
+
+    net: str
+    mode: str
+    threads: List[int] = field(default_factory=list)
+    iters: int = 0
+    resume_at: int = 0
+    resume_bitwise: Dict[int, bool] = field(default_factory=dict)
+    roundtrip_stable: Dict[int, bool] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == ERROR for f in self.findings)
+
+    def to_json(self) -> dict:
+        return {
+            "net": self.net,
+            "mode": self.mode,
+            "threads": list(self.threads),
+            "iters": self.iters,
+            "resume_at": self.resume_at,
+            "ok": self.ok,
+            "resume_bitwise": {
+                str(t): v for t, v in self.resume_bitwise.items()},
+            "roundtrip_stable": {
+                str(t): v for t, v in self.roundtrip_stable.items()},
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+
+def certify_resume(
+    net: str,
+    mode: str,
+    threads: Sequence[int],
+    iters: int = 2,
+    batch: Optional[int] = 4,
+) -> ResumeCertificate:
+    """RS101/RS102 for one net x mode across thread counts.
+
+    Both runs of each pair execute at the *same* thread count, so every
+    certified mode — bitwise-invariant or deterministic-per-T — must
+    reproduce the uninterrupted trajectory byte for byte; a resume that
+    diverges has lost state, whatever the tier.
+    """
+    resume_at = max(1, iters // 2)
+    cert = ResumeCertificate(
+        net=net, mode=mode, threads=sorted(set(threads)), iters=iters,
+        resume_at=resume_at,
+    )
+    tmpdir = tempfile.mkdtemp(prefix="rescheck-")
+    try:
+        for t in cert.threads:
+            reference = capture_trajectory(
+                net, iters, batch, threads=t, mode=mode)
+            path = os.path.join(tmpdir, f"{net}-{mode}-{t}.rckp")
+            resumed, roundtrip_ok = capture_resumed_trajectory(
+                net, iters, resume_at, path, batch=batch, threads=t,
+                mode=mode,
+            )
+            div = first_divergence(reference, resumed)
+            cert.resume_bitwise[t] = div is None
+            cert.roundtrip_stable[t] = roundtrip_ok
+            where = f"{net}/{mode}@T={t}"
+            if div is not None:
+                cert.findings.append(Finding(
+                    rule="RS101", severity=ERROR, layer=where,
+                    message=(
+                        f"resume at iteration {resume_at} diverges from "
+                        f"the uninterrupted run: {div.describe()}; the "
+                        "checkpoint lost trajectory state"
+                    ),
+                ))
+            if not roundtrip_ok:
+                cert.findings.append(Finding(
+                    rule="RS102", severity=ERROR, layer=where,
+                    message=(
+                        "save -> load -> save is not bitwise stable: "
+                        "some captured state is lost or mutated on "
+                        "restore"
+                    ),
+                ))
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return cert
+
+
+# ---------------------------------------------------------------------------
+# fault certification (RS201-RS204)
+# ---------------------------------------------------------------------------
+def _run_bounded(fn, timeout: float = FAULT_TIMEOUT_S):
+    """Run ``fn`` with a wall-clock bound; ('ok'|'error'|'hang', value)."""
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["result"] = ("ok", fn())
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            box["result"] = ("error", exc)
+
+    worker = threading.Thread(target=target, daemon=True,
+                              name="rescheck-fault-run")
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        return ("hang", None)
+    return box["result"]
+
+
+def _params_snapshot(solver) -> List[np.ndarray]:
+    return [b.flat_data.copy() for b in solver.net.learnable_params]
+
+
+def _params_equal(solver, saved: List[np.ndarray]) -> bool:
+    return all(
+        np.array_equal(b.flat_data, s)
+        for b, s in zip(solver.net.learnable_params, saved)
+    )
+
+
+def _fault_layer(net) -> str:
+    """A layer whose forward runs chunk-parallel: the first with params."""
+    for layer in net.layers:
+        if layer.blobs:
+            return layer.name
+    return net.layers[-1].name
+
+
+def _fault_blob(net) -> str:
+    """An activation produced mid-net (the fault layer's first top)."""
+    target = _fault_layer(net)
+    for layer, tops in zip(net.layers, net.tops):
+        if layer.name == target and tops:
+            return tops[0].name
+    return net.layers[-1].name
+
+
+def certify_faults(
+    net: str,
+    threads: int,
+    iters: int = 2,
+    batch: Optional[int] = 4,
+    mode: str = "blockwise",
+) -> List[Finding]:
+    """RS201-RS204: fire every fault class against one net.
+
+    Runs at a single (the highest requested) thread count under the
+    bitwise-invariant mode, where every recovery promise is strongest.
+    """
+    from repro.core import ParallelExecutor
+    from repro.core.team import WorkerError
+    from repro.resilience import (
+        ChunkAbort,
+        CheckpointCorrupt,
+        CheckpointError,
+        CheckpointFormatError,
+        FaultPlan,
+        HealthGuard,
+        InjectedFault,
+        LayerRaise,
+        NaNBlob,
+        NumericFault,
+        corrupt_checkpoint,
+        inject,
+        truncate_checkpoint,
+    )
+
+    findings: List[Finding] = []
+    where = f"{net}@T={threads}"
+
+    def fail(rule: str, message: str) -> None:
+        findings.append(Finding(
+            rule=rule, severity=ERROR, layer=where, message=message,
+        ))
+
+    def is_injected(exc: BaseException) -> bool:
+        if isinstance(exc, InjectedFault):
+            return True
+        return (isinstance(exc, WorkerError)
+                and isinstance(exc.original, InjectedFault))
+
+    tmpdir = tempfile.mkdtemp(prefix="rescheck-faults-")
+    executor = ParallelExecutor(num_threads=threads, reduction=mode)
+    try:
+        solver = _build_solver(net, iters, batch, executor)
+        layer_name = _fault_layer(solver.net)
+        blob_name = _fault_blob(solver.net)
+
+        # -- chunk abort: root cause surfaces, team stays usable -------
+        plan = FaultPlan(ChunkAbort(layer=layer_name,
+                                    iteration=solver.iteration))
+        with inject(solver, plan):
+            status, value = _run_bounded(lambda: solver.step(1))
+        if status == "hang":
+            fail("RS201", "chunk abort hung the runtime: a peer thread "
+                          "is still blocked on a barrier or ordered turn")
+        elif status == "ok":
+            fail("RS201", "chunk abort was silently swallowed: the "
+                          "iteration completed as if no fault fired")
+        elif not is_injected(value):
+            fail("RS201", f"chunk abort surfaced "
+                          f"{type(value).__name__} instead of the "
+                          "injected root cause: the abort path masked "
+                          "the originating error")
+        # recovery: the same team must run the next region cleanly.
+        status, value = _run_bounded(lambda: solver.step(1))
+        if status != "ok":
+            detail = ("hung" if status == "hang"
+                      else f"raised {type(value).__name__}: {value}")
+            fail("RS201", f"team is not reusable after a chunk abort: "
+                          f"the recovery step {detail}")
+
+        # -- layer exception under a guard: state restored bitwise -----
+        solver.guard = HealthGuard(policy="halt")
+        before = _params_snapshot(solver)
+        plan = FaultPlan(LayerRaise(layer=layer_name,
+                                    iteration=solver.iteration,
+                                    phase="forward"))
+        with inject(solver, plan):
+            status, value = _run_bounded(lambda: solver.step(1))
+        if status == "hang":
+            fail("RS201", "layer exception hung the runtime")
+        elif status == "ok":
+            fail("RS201", "layer exception was silently swallowed")
+        else:
+            if not is_injected(value):
+                fail("RS201", f"layer exception surfaced "
+                              f"{type(value).__name__} instead of the "
+                              "injected fault")
+            if not _params_equal(solver, before):
+                fail("RS201", "guard containment left torn state: "
+                              "parameters differ from the pre-iteration "
+                              "shadow after a contained exception")
+        solver.guard = None
+
+        # -- post-crash resume onto the reference trajectory (RS202) ---
+        reference = capture_trajectory(net, iters, batch,
+                                       threads=threads, mode=mode)
+        crash_path = os.path.join(tmpdir, "crash.rckp")
+        crash_executor = ParallelExecutor(num_threads=threads,
+                                          reduction=mode)
+        try:
+            crasher = _build_solver(net, iters, batch, crash_executor)
+            resume_at = max(1, iters // 2)
+            snapshots = _capture_segment(crasher, resume_at)
+            crasher.save_state(crash_path)
+            plan = FaultPlan(LayerRaise(layer=layer_name,
+                                        iteration=crasher.iteration,
+                                        phase="forward"))
+            with inject(crasher, plan):
+                status, value = _run_bounded(lambda: crasher.step(1))
+            if status == "ok" or (status == "error"
+                                  and not is_injected(value)):
+                fail("RS201", "crash simulation did not raise the "
+                              "injected fault")
+        finally:
+            crash_executor.close()
+        resumed_executor = ParallelExecutor(num_threads=threads,
+                                            reduction=mode)
+        try:
+            survivor = _build_solver(net, iters, batch, resumed_executor)
+            survivor.load_state(crash_path)
+            snapshots.extend(
+                _capture_segment(survivor, iters - resume_at))
+            resumed = Trajectory(
+                param_names=tuple(
+                    b.name for b in survivor.net.learnable_params),
+                param_owners=tuple(survivor.net.param_owners),
+                snapshots=tuple(snapshots),
+            )
+        finally:
+            resumed_executor.close()
+        div = first_divergence(reference, resumed)
+        if div is not None:
+            fail("RS202", f"trajectory resumed from the pre-crash "
+                          f"checkpoint diverges from the reference: "
+                          f"{div.describe()}")
+
+        # -- NaN injection vs every guard policy (RS203) ----------------
+        for policy in ("halt", "skip-batch", "rollback"):
+            policy_executor = ParallelExecutor(num_threads=threads,
+                                               reduction=mode)
+            try:
+                victim = _build_solver(net, iters, batch, policy_executor)
+                victim.guard = HealthGuard(policy=policy)
+                before = _params_snapshot(victim)
+                plan = FaultPlan(NaNBlob(blob=blob_name, iteration=0))
+                with inject(victim, plan):
+                    status, value = _run_bounded(
+                        lambda v=victim: v.step(iters))
+                if status == "hang":
+                    fail("RS203", f"guard policy {policy!r} hung")
+                    continue
+                if policy == "halt":
+                    if status != "error" or not isinstance(value,
+                                                           NumericFault):
+                        got = ("no error" if status == "ok"
+                               else type(value).__name__)
+                        fail("RS203", f"halt policy must raise "
+                                      f"NumericFault on injected NaN, "
+                                      f"got {got}")
+                    elif not _params_equal(victim, before):
+                        fail("RS203", "halt policy left parameters "
+                                      "different from the last healthy "
+                                      "state")
+                else:
+                    if status != "ok":
+                        fail("RS203", f"{policy} policy must continue "
+                                      f"training past an injected NaN, "
+                                      f"raised {type(value).__name__}")
+                        continue
+                    if victim.iteration != iters:
+                        fail("RS203", f"{policy} policy lost iterations: "
+                                      f"reached {victim.iteration} of "
+                                      f"{iters}")
+                    if not victim.guard.events:
+                        fail("RS203", f"{policy} policy recorded no "
+                                      "GuardEvent for the injected NaN")
+                    if not all(
+                            np.all(np.isfinite(b.flat_data))
+                            for b in victim.net.learnable_params):
+                        fail("RS203", f"{policy} policy let NaN reach "
+                                      "the parameters")
+            finally:
+                policy_executor.close()
+
+        # -- damaged / old-format checkpoints must be rejected (RS204) --
+        good_path = os.path.join(tmpdir, "good.rckp")
+        solver.save_state(good_path)
+
+        def expect_rejection(label: str, path: str, expected) -> None:
+            fresh = _build_solver(net, iters, batch, None)
+            try:
+                fresh.load_state(path)
+            except expected:
+                return
+            except CheckpointError as exc:
+                fail("RS204", f"{label} checkpoint raised "
+                              f"{type(exc).__name__}, expected "
+                              f"{expected.__name__}")
+            except Exception as exc:  # noqa: BLE001 - uncoded error
+                fail("RS204", f"{label} checkpoint surfaced an uncoded "
+                              f"{type(exc).__name__}: {exc}")
+            else:
+                fail("RS204", f"{label} checkpoint was accepted; it "
+                              "must be rejected with a coded error")
+
+        corrupt_path = os.path.join(tmpdir, "corrupt.rckp")
+        shutil.copyfile(good_path, corrupt_path)
+        corrupt_checkpoint(corrupt_path, seed=0)
+        expect_rejection("corrupt", corrupt_path, CheckpointCorrupt)
+
+        truncated_path = os.path.join(tmpdir, "truncated.rckp")
+        shutil.copyfile(good_path, truncated_path)
+        truncate_checkpoint(truncated_path, fraction=0.5)
+        expect_rejection("truncated", truncated_path,
+                         (CheckpointCorrupt, CheckpointFormatError))
+
+        legacy_path = os.path.join(tmpdir, "legacy.npz")
+        with open(legacy_path, "wb") as handle:
+            np.savez(handle, __iteration__=np.array(1))
+        expect_rejection("old-format (unversioned .npz)", legacy_path,
+                         CheckpointFormatError)
+    finally:
+        executor.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# top-level report
+# ---------------------------------------------------------------------------
+@dataclass
+class RescheckReport:
+    """Static lint + resume certificates + fault certification."""
+
+    static_findings: List[Finding] = field(default_factory=list)
+    certificates: List[ResumeCertificate] = field(default_factory=list)
+    fault_findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Finding]:
+        out = list(self.static_findings)
+        for cert in self.certificates:
+            out.extend(cert.findings)
+        out.extend(self.fault_findings)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == ERROR for f in self.findings)
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "static_findings": [f.to_json() for f in self.static_findings],
+            "certificates": [c.to_json() for c in self.certificates],
+            "fault_findings": [f.to_json() for f in self.fault_findings],
+        }
+
+    def summary_lines(self) -> List[str]:
+        def count(findings, severity):
+            return sum(1 for f in findings if f.severity == severity)
+
+        lines = [
+            f"rescheck static: {count(self.static_findings, ERROR)} "
+            "error(s) from the state-write / RNG-capture / cursor lint"
+        ]
+        for f in self.static_findings:
+            lines.append(f"  [{f.rule}/{f.severity}] {f.layer}: {f.message}")
+        for cert in self.certificates:
+            bits = ",".join(
+                f"T={t}:{'=' if ok else '!='}"
+                for t, ok in sorted(cert.resume_bitwise.items()))
+            lines.append(
+                f"resume certificate: net={cert.net} mode={cert.mode} "
+                f"save@{cert.resume_at}/{cert.iters} "
+                f"vs-uninterrupted[{bits}] -> "
+                f"{'OK' if cert.ok else 'VIOLATION'}")
+            for f in cert.findings:
+                lines.append(
+                    f"  [{f.rule}/{f.severity}] {f.layer}: {f.message}")
+        if self.fault_findings or self.certificates:
+            lines.append(
+                f"fault certification: {count(self.fault_findings, ERROR)} "
+                "error(s) across chunk-abort / layer-raise / NaN / "
+                "damaged-checkpoint injections")
+            for f in self.fault_findings:
+                lines.append(
+                    f"  [{f.rule}/{f.severity}] {f.layer}: {f.message}")
+        lines.append(
+            "verdict: " + ("RESILIENT" if self.ok else "VIOLATIONS FOUND"))
+        return lines
+
+
+def run_rescheck(
+    nets: Iterable[str] = ("lenet", "cifar10", "mlp"),
+    modes: Iterable[str] = DEFAULT_MODES,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    iters: int = 2,
+    batch: Optional[int] = 4,
+    static_only: bool = False,
+    skip_faults: bool = False,
+) -> RescheckReport:
+    """The full resilience-certification pass."""
+    from repro.zoo.build import _SPECS
+
+    assert all(code in CODE_CATALOGUE
+               for code in ("RS001", "RS101", "RS201"))
+    report = RescheckReport(static_findings=lint_resilience())
+    if static_only:
+        return report
+
+    nets = list(nets)
+    modes = list(modes)
+    for name in nets:
+        if name not in _SPECS:
+            raise SystemExit(
+                f"unknown zoo net {name!r}; available: "
+                f"{', '.join(sorted(_SPECS))}"
+            )
+        for mode in modes:
+            report.certificates.append(certify_resume(
+                name, mode, threads, iters=iters, batch=batch,
+            ))
+        if not skip_faults:
+            report.fault_findings.extend(certify_faults(
+                name, threads=max(threads), iters=iters, batch=batch,
+            ))
+    return report

@@ -47,7 +47,7 @@ from repro.core.reduction import (
     tree_combine,
 )
 from repro.core.scheduling import Schedule, StaticSchedule
-from repro.core.team import RegionContext, ThreadTeam
+from repro.core.team import RegionContext, ThreadTeam, WorkerError
 from repro.framework.layer import LoopSpec
 from repro.framework.net import Net
 
@@ -200,11 +200,18 @@ class ParallelExecutor:
                 body = lambda lo, hi, tid: layer.forward_chunk(
                     bottom, top, lo, hi
                 )
-            self.team.parallel_for(
-                space,
-                body,
-                self.schedule,
-            )
+            try:
+                self.team.parallel_for(
+                    space,
+                    body,
+                    self.schedule,
+                )
+            except WorkerError as exc:
+                # Chunk-failure reporting: name the layer/phase whose
+                # region failed before the error unwinds to the solver.
+                exc.layer = layer.name
+                exc.phase = "forward"
+                raise
             layer.forward_finalize(bottom, top)
             for top_blob, weight in zip(top, layer.loss_weights):
                 if weight:
@@ -223,8 +230,13 @@ class ParallelExecutor:
             loops = layer.backward_loops(
                 net.tops[i], net.bottom_need_backward[i], net.bottoms[i]
             )
-            for loop in loops:
-                self._run_backward_loop(loop, layer.name)
+            try:
+                for loop in loops:
+                    self._run_backward_loop(loop, layer.name)
+            except WorkerError as exc:
+                exc.layer = layer.name
+                exc.phase = "backward"
+                raise
 
     def _run_backward_loop(self, loop: LoopSpec, layer_name: str = "?") -> None:
         if loop.space <= 0:

@@ -30,7 +30,15 @@ class _RegionAborted(Exception):
 
 
 class WorkerError(RuntimeError):
-    """An exception escaped a parallel region on some thread."""
+    """An exception escaped a parallel region on some thread.
+
+    ``original`` is the root-cause exception; ``peer_errors`` lists the
+    other threads' failures from the same region (usually abort-induced
+    secondaries: :class:`_RegionAborted` from peers waiting on the
+    failed thread's ordered turn, ``BrokenBarrierError`` from peers
+    parked at a barrier the abort broke).  ``layer`` / ``phase`` are
+    annotated by the executor when the failing chunk is known.
+    """
 
     def __init__(self, thread_id: int, original: BaseException, tb: str) -> None:
         super().__init__(
@@ -39,6 +47,9 @@ class WorkerError(RuntimeError):
         )
         self.thread_id = thread_id
         self.original = original
+        self.peer_errors: List["WorkerError"] = []
+        self.layer: Optional[str] = None
+        self.phase: Optional[str] = None
 
 
 class RegionContext:
@@ -169,12 +180,18 @@ class ThreadTeam:
         errors = [e for e in self._errors if e is not None]
         self._reset_region_state()
         if errors:
-            # Prefer the root cause over abort-induced secondary errors.
-            root = next(
-                (e for e in errors
-                 if not isinstance(e.original, _RegionAborted)),
-                errors[0],
-            )
+            # Prefer the root cause over abort-induced secondary errors:
+            # peers unwound with _RegionAborted (ordered-turn abort) or
+            # BrokenBarrierError (the abort broke the barrier they were
+            # parked at) did not fail on their own.
+            def _secondary(e: WorkerError) -> bool:
+                return isinstance(
+                    e.original,
+                    (_RegionAborted, threading.BrokenBarrierError),
+                )
+
+            root = next((e for e in errors if not _secondary(e)), errors[0])
+            root.peer_errors = [e for e in errors if e is not root]
             raise root
 
     def _reset_region_state(self) -> None:

@@ -101,3 +101,38 @@ class ArrayBatchSource:
     def reset(self) -> None:
         """Rewind to the start of the (current) epoch order."""
         self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # cursor capture (checkpoint / resume)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-serializable stream position: cursor, epoch count, the
+        current epoch's permutation, and the shuffle RNG state.  A resume
+        that restores this replays the exact remaining batch sequence;
+        omitting it would re-serve samples the run already consumed."""
+        return {
+            "cursor": int(self._cursor),
+            "epochs_completed": int(self.epochs_completed),
+            "order": [int(i) for i in self._order],
+            "rng": self._rng.bit_generator.state,
+            "shuffle": bool(self._shuffle),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` capture."""
+        order = np.asarray(state["order"], dtype=self._order.dtype)
+        if order.shape != self._order.shape:
+            raise ValueError(
+                f"source state has {order.size} samples, this source has "
+                f"{self.size}"
+            )
+        if bool(state["shuffle"]) != self._shuffle:
+            raise ValueError(
+                f"source state was captured with shuffle="
+                f"{state['shuffle']}, this source has shuffle="
+                f"{self._shuffle}"
+            )
+        self._order = order
+        self._cursor = int(state["cursor"])
+        self.epochs_completed = int(state["epochs_completed"])
+        self._rng.bit_generator.state = state["rng"]

@@ -259,6 +259,36 @@ class Layer:
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         """Subclass hook: create parameter blobs, parse params."""
 
+    # ------------------------------------------------------------------
+    # RNG stream capture (checkpoint / resume)
+    # ------------------------------------------------------------------
+    def rng_state(self):
+        """JSON-serializable state of this layer's live RNG stream, or
+        ``None`` when the layer holds no persistent generator.
+
+        The convention backing every stock layer: a layer that draws
+        random numbers *per forward pass* (``RNG_PER_FORWARD``, e.g.
+        Dropout's mask stream) keeps its generator in ``self._rng``;
+        setup-only draws (weight fillers) use ephemeral generators that
+        never need checkpointing.  A resume that skipped this state
+        would silently fork the mask sequence — exactly the bug the
+        resilience checkpoint format refuses to allow.
+        """
+        rng = getattr(self, "_rng", None)
+        if rng is None:
+            return None
+        return rng.bit_generator.state
+
+    def set_rng_state(self, state) -> None:
+        """Restore a :meth:`rng_state` capture into the live generator."""
+        rng = getattr(self, "_rng", None)
+        if rng is None:
+            raise ValueError(
+                f"layer {self.name!r} has no persistent RNG stream to "
+                "restore into"
+            )
+        rng.bit_generator.state = state
+
     def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         """Shape the top blobs (and scratch space) from the bottoms."""
         raise NotImplementedError

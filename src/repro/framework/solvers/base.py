@@ -93,6 +93,10 @@ class Solver:
         self.history: List[np.ndarray] = [
             np.zeros(blob.count, dtype=DTYPE) for blob in net.learnable_params
         ]
+        #: Optional :class:`~repro.resilience.guards.HealthGuard`; when
+        #: set, every iteration of :meth:`step` runs through it (NaN/Inf
+        #: sentinels + halt / skip-batch / rollback recovery).
+        self.guard = None
         self._display_fn: Callable[[str], None] = lambda message: None
 
     def set_display(self, fn: Callable[[str], None]) -> None:
@@ -111,31 +115,53 @@ class Solver:
         )
 
     def step(self, iters: int) -> float:
-        """Run ``iters`` training iterations; returns the last loss."""
+        """Run ``iters`` training iterations; returns the last loss.
+
+        With a :attr:`guard` installed every iteration runs through its
+        sentinels; the guarded path performs the identical operations
+        in the identical order, so healthy trajectories are bitwise
+        equal with and without a guard.
+        """
         last_loss = 0.0
         for _ in range(iters):
-            if (
-                self.test_net is not None
-                and self.params.test_interval > 0
-                and self.iteration % self.params.test_interval == 0
-            ):
-                self.test()
-            self.net.clear_param_diffs()
-            loss = 0.0
-            for _ in range(self.params.iter_size):
-                loss += self.executor.forward(self.net)
-                self.executor.backward(self.net)
-            loss /= self.params.iter_size
-            self.apply_update()
-            self.loss_history.append(loss)
-            last_loss = loss
-            if self.params.display and self.iteration % self.params.display == 0:
-                self._display_fn(
-                    f"iteration {self.iteration}, lr {self.current_lr():.6g}, "
-                    f"loss {loss:.6f}"
-                )
-            self.iteration += 1
+            if self.guard is not None:
+                last_loss = self.guard.step(self)
+            else:
+                self._maybe_test()
+                loss = self._forward_backward()
+                self.apply_update()
+                last_loss = self._finish_iteration(loss)
         return last_loss
+
+    def _maybe_test(self) -> None:
+        """Run the periodic test pass when this iteration calls for it."""
+        if (
+            self.test_net is not None
+            and self.params.test_interval > 0
+            and self.iteration % self.params.test_interval == 0
+        ):
+            self.test()
+
+    def _forward_backward(self) -> float:
+        """Clear diffs and accumulate ``iter_size`` forward/backward
+        passes; returns the averaged loss (update not yet applied)."""
+        self.net.clear_param_diffs()
+        loss = 0.0
+        for _ in range(self.params.iter_size):
+            loss += self.executor.forward(self.net)
+            self.executor.backward(self.net)
+        return loss / self.params.iter_size
+
+    def _finish_iteration(self, loss: float) -> float:
+        """Record ``loss``, display, advance the iteration counter."""
+        self.loss_history.append(loss)
+        if self.params.display and self.iteration % self.params.display == 0:
+            self._display_fn(
+                f"iteration {self.iteration}, lr {self.current_lr():.6g}, "
+                f"loss {loss:.6f}"
+            )
+        self.iteration += 1
+        return loss
 
     def solve(self) -> float:
         """Train to ``params.max_iter``."""
@@ -211,44 +237,33 @@ class Solver:
     # full-state snapshots (weights + solver history + iteration)
     # ------------------------------------------------------------------
     def save_state(self, path: str) -> None:
-        """Serialize everything a resume needs: network parameters, the
-        per-parameter solver history (momentum / accumulated squares) and
-        the iteration counter (Caffe's ``.solverstate``)."""
-        import numpy as np
+        """Serialize everything a resume needs (Caffe's ``.solverstate``).
 
-        payload = {"__iteration__": np.array(self.iteration)}
-        for layer_name, arrays in self.net.state_dict().items():
-            for i, arr in enumerate(arrays):
-                payload[f"param::{layer_name}::{i}"] = arr
-        for i, history in enumerate(self.history):
-            payload[f"history::{i}"] = history
-        np.savez(path, **payload)
+        Delegates to :func:`repro.resilience.checkpoint.save_checkpoint`:
+        the file is written atomically inside a CRC-32-checksummed
+        container and captures the *complete* trajectory state — network
+        parameters, per-parameter solver history, iteration counter,
+        loss history, LR-policy identity, every layer's live RNG stream
+        and every batch source's cursor — so resume-at-iter-k is bitwise
+        identical to the uninterrupted run.
+        """
+        from repro.resilience.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
 
     def load_state(self, path: str) -> None:
-        """Restore a :meth:`save_state` snapshot into this solver."""
-        import numpy as np
+        """Restore a :meth:`save_state` snapshot into this solver.
 
-        with np.load(path) as archive:
-            self.iteration = int(archive["__iteration__"])
-            state: dict = {}
-            for key in archive.files:
-                if key.startswith("param::"):
-                    _, layer_name, index = key.split("::")
-                    state.setdefault(layer_name, []).append(
-                        (int(index), archive[key])
-                    )
-                elif key.startswith("history::"):
-                    index = int(key.split("::")[1])
-                    if index >= len(self.history):
-                        raise ValueError(
-                            f"snapshot has history slot {index} but the "
-                            f"solver only has {len(self.history)}"
-                        )
-                    self.history[index][:] = archive[key]
-            self.net.load_state_dict({
-                name: [arr for _, arr in sorted(pairs)]
-                for name, pairs in state.items()
-            })
+        The checksum is verified before anything is parsed
+        (:class:`~repro.resilience.checkpoint.CheckpointCorrupt` on
+        damage); pre-resilience snapshots and state that would silently
+        fork the trajectory are rejected with
+        :class:`~repro.resilience.checkpoint.CheckpointFormatError` /
+        :class:`~repro.resilience.checkpoint.CheckpointMismatch`.
+        """
+        from repro.resilience.checkpoint import load_checkpoint
+
+        load_checkpoint(self, path)
 
     # ------------------------------------------------------------------
     # test-net parameter sharing

@@ -1,0 +1,274 @@
+"""Deterministic fault injection for the resilience test-bed.
+
+Every recovery path in :mod:`repro.resilience` is exercised by tests,
+not hoped-for.  A :class:`FaultPlan` lists faults to fire at exact
+iterations; :func:`inject` installs the plan on a solver (wrapping its
+executor and patching the targeted layer instances) and removes every
+patch on exit, so the same solver/net can run clean afterwards.
+
+Fault classes:
+
+* :class:`NaNBlob` — overwrite a named activation blob with NaN right
+  after the forward pass of iteration ``k`` (models a numeric blow-up;
+  exercised against the :class:`~repro.resilience.guards.HealthGuard`
+  sentinels and policies).
+* :class:`LayerRaise` — raise :class:`InjectedFault` from a named
+  layer's forward or backward at iteration ``k`` (models a layer bug /
+  OOM; exercises exception containment).
+* :class:`ChunkAbort` — raise from *one thread's chunk* of a named
+  layer's forward inside the parallel region at iteration ``k`` (models
+  a dying worker; exercises :class:`~repro.core.team.ThreadTeam` abort,
+  barrier recovery, and team reuse).  Fires on the first worker-thread
+  chunk when the team has workers, on the master's first chunk for a
+  one-thread team; it never fires under a plain ``SequentialExecutor``
+  (no parallel region exists to abort).
+* :func:`corrupt_checkpoint` / :func:`truncate_checkpoint` — damage a
+  checkpoint file deterministically (seeded byte flips / truncation) to
+  exercise the CRC-32 and header verification paths.
+
+Everything is deterministic: faults key on the solver's iteration
+counter, and file damage is driven by ``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+class InjectedFault(RuntimeError):
+    """The sentinel exception raised by LayerRaise / ChunkAbort faults.
+
+    Tests and the rescheck certifier match on this type to tell an
+    injected failure from a genuine bug in the recovery machinery.
+    """
+
+
+# ---------------------------------------------------------------------------
+# fault descriptors
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NaNBlob:
+    """Poison blob ``blob`` with NaN after forward of iteration ``iteration``."""
+
+    blob: str
+    iteration: int
+
+
+@dataclass(frozen=True)
+class LayerRaise:
+    """Raise :class:`InjectedFault` inside layer ``layer`` at iteration
+    ``iteration``, during ``phase`` ("forward" or "backward")."""
+
+    layer: str
+    iteration: int
+    phase: str = "forward"
+
+    def __post_init__(self) -> None:
+        if self.phase not in ("forward", "backward"):
+            raise ValueError(
+                f"LayerRaise phase must be 'forward' or 'backward', "
+                f"got {self.phase!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ChunkAbort:
+    """Abort one thread's forward chunk of layer ``layer`` at iteration
+    ``iteration`` (the first worker-thread chunk; the master's when the
+    team is solo)."""
+
+    layer: str
+    iteration: int
+
+
+class FaultPlan:
+    """An ordered, seeded collection of fault descriptors."""
+
+    def __init__(self, *faults, seed: int = 0) -> None:
+        for fault in faults:
+            if not isinstance(fault, (NaNBlob, LayerRaise, ChunkAbort)):
+                raise TypeError(
+                    f"FaultPlan entries must be NaNBlob / LayerRaise / "
+                    f"ChunkAbort, got {type(fault).__name__}"
+                )
+        self.faults: Tuple = faults
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(repr(f) for f in self.faults)
+        return f"FaultPlan({inner}, seed={self.seed})"
+
+
+# ---------------------------------------------------------------------------
+# the injector
+# ---------------------------------------------------------------------------
+class _ExecutorProxy:
+    """Wraps the solver's executor; fault hooks key on solver.iteration."""
+
+    def __init__(self, inner, injector: "_Injector") -> None:
+        self._inner = inner
+        self._injector = injector
+
+    def forward(self, net) -> float:
+        import numpy as np
+
+        loss = self._inner.forward(net)
+        if net is self._injector.solver.net:
+            iteration = self._injector.solver.iteration
+            for fault in self._injector.plan:
+                if (isinstance(fault, NaNBlob)
+                        and fault.iteration == iteration):
+                    blob = net.blob(fault.blob)
+                    blob.flat_data[:] = np.nan
+                    blob.mark_host_data_dirty()
+        return loss
+
+    def backward(self, net) -> None:
+        self._inner.backward(net)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _Injector:
+    """Installs/uninstalls a FaultPlan on one solver."""
+
+    def __init__(self, solver, plan: FaultPlan) -> None:
+        self.solver = solver
+        self.plan = plan
+        self._patched: List[Tuple[object, str]] = []
+        self._abort_lock = threading.Lock()
+        self._abort_fired = set()  # faults that already fired
+
+    # -- install ---------------------------------------------------------
+    def install(self) -> None:
+        self._orig_executor = self.solver.executor
+        self.solver.executor = _ExecutorProxy(self._orig_executor, self)
+        # A one-thread *team* still runs chunks (on the master thread),
+        # so the abort fires there; a plain SequentialExecutor has no
+        # parallel region at all — the fault stays silent.
+        num_threads = getattr(self._orig_executor, "num_threads", None)
+        solo = num_threads is not None and num_threads <= 1
+        for fault in self.plan:
+            if isinstance(fault, LayerRaise):
+                layer = self.solver.net.layer(fault.layer)
+                if fault.phase == "forward":
+                    self._patch_raise(layer, "forward", fault)
+                    self._patch_raise(layer, "forward_chunk", fault)
+                else:
+                    self._patch_raise(layer, "backward", fault)
+                    self._patch_raise(layer, "backward_loops", fault)
+            elif isinstance(fault, ChunkAbort):
+                layer = self.solver.net.layer(fault.layer)
+                self._patch_chunk_abort(layer, fault, solo)
+
+    def _patch_raise(self, layer, method: str, fault: LayerRaise) -> None:
+        original = getattr(layer, method)
+        injector = self
+
+        def patched(*args, **kwargs):
+            if injector.solver.iteration == fault.iteration:
+                raise InjectedFault(
+                    f"injected {fault.phase} failure in layer "
+                    f"{fault.layer!r} at iteration {fault.iteration}"
+                )
+            return original(*args, **kwargs)
+
+        setattr(layer, method, patched)
+        self._patched.append((layer, method))
+
+    def _patch_chunk_abort(self, layer, fault: ChunkAbort,
+                           solo: bool) -> None:
+        original = layer.forward_chunk
+        injector = self
+
+        def patched(bottom, top, lo, hi):
+            if injector.solver.iteration == fault.iteration:
+                on_worker = threading.current_thread().name.startswith(
+                    "team-worker-"
+                )
+                if on_worker or solo:
+                    with injector._abort_lock:
+                        first = fault not in injector._abort_fired
+                        if first:
+                            injector._abort_fired.add(fault)
+                    if first:
+                        raise InjectedFault(
+                            f"injected chunk abort in layer "
+                            f"{fault.layer!r} [{lo}:{hi}] on "
+                            f"{threading.current_thread().name} at "
+                            f"iteration {fault.iteration}"
+                        )
+            return original(bottom, top, lo, hi)
+
+        layer.forward_chunk = patched
+        self._patched.append((layer, "forward_chunk"))
+
+    # -- uninstall -------------------------------------------------------
+    def uninstall(self) -> None:
+        self.solver.executor = self._orig_executor
+        for layer, method in self._patched:
+            # The patch lives in the instance dict, shadowing the class
+            # method; deleting it restores the original behaviour.
+            layer.__dict__.pop(method, None)
+        self._patched.clear()
+
+
+@contextlib.contextmanager
+def inject(solver, plan: FaultPlan) -> Iterator[_Injector]:
+    """Context manager: arm ``plan`` on ``solver``, disarm on exit.
+
+    While armed, the solver's executor is wrapped (for NaN injection)
+    and each targeted layer instance carries patched methods.  On exit
+    every patch is removed, so the solver runs clean again — injected
+    state (a poisoned blob, half-run diffs) is the *recovery machinery's*
+    problem, exactly as a real fault would be.
+    """
+    injector = _Injector(solver, plan)
+    injector.install()
+    try:
+        yield injector
+    finally:
+        injector.uninstall()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint-file damage
+# ---------------------------------------------------------------------------
+def corrupt_checkpoint(path: str, seed: int = 0, nbytes: int = 8) -> None:
+    """Deterministically flip ``nbytes`` payload bytes of ``path``.
+
+    Offsets are drawn from ``random.Random(seed)`` past the container
+    header, so the damage lands in the checksummed payload and must be
+    caught by CRC-32 verification (not by a lucky header check).
+    """
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    if not blob:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    start = 18 if len(blob) > 18 else 0  # skip the RCKP header when present
+    rng = random.Random(seed)
+    for _ in range(max(1, nbytes)):
+        offset = rng.randrange(start, len(blob))
+        blob[offset] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(blob)
+
+
+def truncate_checkpoint(path: str, fraction: float = 0.5) -> None:
+    """Cut ``path`` down to ``fraction`` of its bytes (torn write /
+    full-disk model).  ``fraction`` must be in [0, 1)."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(blob[: int(len(blob) * fraction)])

@@ -1,0 +1,23 @@
+"""Front-end for the analysis suite (``python -m repro.tools.analyze``).
+
+Thin alias for ``python -m repro.analysis`` so every operational
+entry point lives under ``repro.tools``; the argument surface is
+identical::
+
+    python -m repro.tools.analyze --net lenet --gate          # FP/RT
+    python -m repro.tools.analyze netcheck --net lenet --gate # NG
+    python -m repro.tools.analyze detcheck --threads 1,2,8    # DC
+    python -m repro.tools.analyze rescheck --gate             # RS
+    python -m repro.tools.analyze --list-codes
+
+See :mod:`repro.analysis.__main__` for the full per-pass help.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.__main__ import main
+
+if __name__ == "__main__":
+    sys.exit(main())

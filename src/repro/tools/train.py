@@ -6,6 +6,19 @@ Examples::
     python -m repro.tools.train --net cifar10 --reduction ordered \\
         --schedule static,2 --snapshot weights.npz
     python -m repro.tools.train --prototxt my_net.prototxt --iters 20
+
+Fault tolerance::
+
+    python -m repro.tools.train --net lenet --iters 100 \\
+        --checkpoint ck.rckp --checkpoint-every 20
+    python -m repro.tools.train --net lenet --iters 100 \\
+        --checkpoint ck.rckp --checkpoint-every 20 --resume ck.rckp
+    python -m repro.tools.train --net cifar10 --guard rollback
+
+Checkpoints are crash-consistent (atomic write, CRC-32 verified) and
+capture the complete trajectory state, so a resumed run is bitwise
+identical to the uninterrupted one; ``--guard`` arms the per-iteration
+NaN/Inf sentinels.
 """
 
 from __future__ import annotations
@@ -20,6 +33,12 @@ from repro.data import register_default_sources
 from repro.framework.net import Net
 from repro.framework.prototxt import parse_prototxt
 from repro.framework.solvers import SolverParams, create_solver
+from repro.resilience import (
+    GUARD_POLICIES,
+    CheckpointError,
+    HealthGuard,
+    NumericFault,
+)
 from repro.zoo import build_solver
 
 
@@ -53,11 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--test", action="store_true",
                         help="evaluate test accuracy after training "
                              "(zoo nets only)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="full-state checkpoint file (atomic, "
+                             "CRC-32-checksummed; also written on a "
+                             "numeric-guard halt)")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="write --checkpoint every N iterations "
+                             "(requires --checkpoint)")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="restore a --checkpoint file before training; "
+                             "the resumed trajectory bitwise-matches the "
+                             "uninterrupted run")
+    parser.add_argument("--guard", choices=GUARD_POLICIES, default=None,
+                        help="arm the per-iteration NaN/Inf health guard "
+                             "with this recovery policy")
     return parser
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.checkpoint_every < 0:
+        parser.error(f"--checkpoint-every must be >= 0, "
+                     f"got {args.checkpoint_every}")
+    if args.checkpoint_every and not args.checkpoint:
+        parser.error("--checkpoint-every requires --checkpoint PATH")
 
     executor = None
     if args.threads > 1:
@@ -99,10 +139,44 @@ def main(argv=None) -> int:
 
     solver.params.display = args.display
     solver.set_display(print)
+    if args.guard:
+        solver.guard = HealthGuard(policy=args.guard)
+    if args.resume:
+        try:
+            solver.load_state(args.resume)
+        except CheckpointError as exc:
+            raise SystemExit(f"cannot resume: {exc}")
+        print(f"resumed from {args.resume} at iteration {solver.iteration}")
+
     print(f"training {args.net or args.prototxt}: {args.iters} iterations, "
           f"{args.threads} thread(s), {args.reduction} reduction, "
           f"{args.schedule} schedule, {args.solver}")
-    final_loss = solver.step(args.iters)
+    final_loss = solver.loss_history[-1] if solver.loss_history else 0.0
+    try:
+        while solver.iteration < args.iters:
+            if args.checkpoint_every:
+                span = args.checkpoint_every - (
+                    solver.iteration % args.checkpoint_every
+                )
+                span = min(span, args.iters - solver.iteration)
+            else:
+                span = args.iters - solver.iteration
+            final_loss = solver.step(span)
+            if args.checkpoint_every:
+                solver.save_state(args.checkpoint)
+                print(f"checkpoint written to {args.checkpoint} at "
+                      f"iteration {solver.iteration}")
+    except NumericFault as exc:
+        # The guard restored the last healthy state before raising, so
+        # the checkpoint written here is clean and resumable.
+        print(f"training halted: {exc.event}")
+        if args.checkpoint:
+            solver.save_state(args.checkpoint)
+            print(f"healthy state checkpointed to {args.checkpoint} at "
+                  f"iteration {solver.iteration}")
+        if executor is not None:
+            executor.close()
+        return 2
     print(f"final loss: {final_loss:.6f}")
 
     if args.test and solver.test_net is not None:

@@ -128,6 +128,69 @@ class TestErrors:
         with pytest.raises(RuntimeError, match="shut down"):
             team.parallel(lambda ctx: None)
 
+    def test_barrier_peers_are_secondary_not_root(self, team4):
+        # Peers parked at a barrier when the abort breaks it raise
+        # BrokenBarrierError; the surfaced WorkerError must still be
+        # the thread that actually failed.
+        def region(ctx):
+            if ctx.thread_id == 3:
+                raise ValueError("real failure")
+            ctx.barrier()
+
+        with pytest.raises(WorkerError) as info:
+            team4.parallel(region)
+        assert info.value.thread_id == 3
+        assert isinstance(info.value.original, ValueError)
+
+    def test_peer_errors_collected_on_root(self, team4):
+        def region(ctx):
+            if ctx.thread_id == 2:
+                raise KeyError("root")
+            ctx.barrier()
+
+        with pytest.raises(WorkerError) as info:
+            team4.parallel(region)
+        peers = info.value.peer_errors
+        assert peers and all(isinstance(p, WorkerError) for p in peers)
+        assert all(p.thread_id != 2 for p in peers)
+        assert all(
+            isinstance(p.original, threading.BrokenBarrierError)
+            for p in peers
+        )
+
+    def test_abort_cannot_leave_thread_blocked_on_barrier(self, team4):
+        # The failing thread aborts the barrier, so peers cannot stay
+        # parked; the same team (and its barrier) must then run a
+        # barrier-using region cleanly.
+        def region(ctx):
+            if ctx.thread_id == 1:
+                raise RuntimeError("abort me")
+            ctx.barrier()
+
+        with pytest.raises(WorkerError):
+            team4.parallel(region)
+
+        phase = []
+
+        def healthy(ctx):
+            phase.append(("a", ctx.thread_id))
+            ctx.barrier()
+            phase.append(("b", ctx.thread_id))
+
+        team4.parallel(healthy)
+        labels = [tag for tag, _ in phase]
+        assert labels[:4] == ["a"] * 4 and labels[4:] == ["b"] * 4
+
+    def test_team_reusable_after_repeated_aborts(self, team4):
+        for _ in range(3):
+            with pytest.raises(WorkerError):
+                team4.parallel(lambda ctx: 1 / 0)
+            order = []
+            team4.parallel(
+                lambda ctx: ctx.ordered(lambda: order.append(ctx.thread_id))
+            )
+            assert order == [0, 1, 2, 3]
+
 
 class TestParallelFor:
     def test_covers_space(self, team4):

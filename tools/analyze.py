@@ -5,6 +5,7 @@ Thin wrapper so every analysis can be run straight from a checkout::
     python tools/analyze.py --net lenet --net cifar10 --gate
     python tools/analyze.py netcheck --prototxt my_net.prototxt --gate
     python tools/analyze.py detcheck --net lenet --threads 1,2,8 --gate
+    python tools/analyze.py rescheck --net lenet --threads 1,2,8 --gate
     python tools/analyze.py --list-codes
 
 Flag mode runs the parallel-safety analyzer (static write-footprint
@@ -14,8 +15,12 @@ DAG lint NG001-NG009, static schedule / memory / FLOP plan).  The
 ``detcheck`` subcommand runs the determinism certifier: static
 nondeterminism lint (DC001-DC007), configuration invariance-tier rules
 (DC101-DC104), and bitwise replay certification of convergence
-invariance (DC201-DC203).  ``--list-codes`` prints the full FP/RT/NG/DC
-catalogue.  Equivalent to ``PYTHONPATH=src python -m repro.analysis``.
+invariance (DC201-DC203).  The ``rescheck`` subcommand runs the
+resilience certifier: static state-safety lint (RS001-RS004), bitwise
+checkpoint/resume certification (RS101-RS102), and fault-injection
+recovery certification (RS201-RS204).  ``--list-codes`` prints the
+full FP/RT/NG/DC/RS catalogue.  Equivalent to ``PYTHONPATH=src python
+-m repro.analysis``.
 """
 
 import os
