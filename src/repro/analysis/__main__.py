@@ -53,7 +53,26 @@ exceptions, NaN injection under every guard policy, and corrupt /
 truncated / old-format checkpoint files.  ``--skip-faults`` certifies
 resume only.
 
-``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS catalogue.
+Subcommand mode (auto-parallelization planner)::
+
+    python -m repro.analysis plancheck --net lenet --threads 8 --gate
+    python -m repro.analysis plancheck --threads 1,2,8 --json
+    python -m repro.analysis plancheck --net lenet --threads 8 \\
+        --emit-plan lenet.plan.json
+    python -m repro.analysis plancheck --net lenet --certify
+
+``plancheck`` statically searches a per-layer execution strategy
+(coalesce depth, thread count, schedule, reduction mode) for each
+requested team size, priced by the simulator's cost model, and lints
+the resulting plan (PL001-PL006).  ``--emit-plan`` writes the
+serialized :class:`~repro.core.plan.ExecutionPlan` for
+``repro.tools.train --plan``; ``--certify`` additionally replays the
+planned configuration and certifies its claimed invariance tier
+bitwise (PL201/PL202).  ``--gate`` fails on any ERROR or on a plan
+predicted slower than the uniform baseline (PL005).
+
+``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS/PL
+catalogue.
 """
 
 from __future__ import annotations
@@ -352,6 +371,127 @@ def rescheck_main(argv) -> int:
     return 0
 
 
+def plancheck_main(argv) -> int:
+    from repro.analysis.plancheck import (
+        PlancheckReport,
+        certify_plan,
+        plan_spec,
+    )
+    from repro.core.reduction import BITWISE_INVARIANT, TIER_ORDER
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis plancheck",
+        description="Static per-layer auto-parallelization planner: "
+                    "searches coalesce depth / thread count / schedule / "
+                    "reduction mode per layer against the simulator's "
+                    "cost model, lints the plan (PL001-PL006), and "
+                    "optionally certifies its invariance tier "
+                    "(PL201/PL202).",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to plan (repeatable; default: all zoo nets "
+             "when no --prototxt is given)",
+    )
+    parser.add_argument(
+        "--prototxt", action="append", default=[], metavar="FILE",
+        help="user prototxt to plan (repeatable)",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads, default=[1, 2, 8],
+        metavar="N,N,...",
+        help="team sizes to plan for (default: 1,2,8)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="override every feeder's batch size before planning",
+    )
+    parser.add_argument(
+        "--claim", choices=sorted(TIER_ORDER), default=BITWISE_INVARIANT,
+        help="invariance tier the plan must preserve; restricts the "
+             "reduction modes the search may pick (default: "
+             f"{BITWISE_INVARIANT})",
+    )
+    parser.add_argument(
+        "--emit-plan", default=None, metavar="PATH",
+        help="write the serialized ExecutionPlan to PATH (requires "
+             "exactly one net and one team size)",
+    )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="replay each planned configuration (team sizes > 1) and "
+             "certify the claimed tier bitwise (zoo nets only)",
+    )
+    parser.add_argument(
+        "--certify-iters", type=int, default=2, metavar="N",
+        help="training iterations per certification replay (default: 2)",
+    )
+    parser.add_argument(
+        "--certify-batch", type=int, default=4, metavar="N",
+        help="batch size for the certification replays (default: 4)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable report as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero on any ERROR finding or a plan predicted "
+             "slower than the uniform baseline (PL005)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.batch is not None and args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
+    if args.certify_iters < 1:
+        parser.error(f"--certify-iters must be >= 1, "
+                     f"got {args.certify_iters}")
+    if args.certify_batch < 1:
+        parser.error(f"--certify-batch must be >= 1, "
+                     f"got {args.certify_batch}")
+
+    specs = _load_specs(args.net, args.prototxt)
+    if args.emit_plan and (len(specs) != 1 or len(args.threads) != 1):
+        parser.error("--emit-plan requires exactly one net and one "
+                     "team size (--threads N)")
+
+    from repro.zoo.build import _SPECS
+
+    report = PlancheckReport()
+    for label, spec in specs:
+        for team in args.threads:
+            net_report = plan_spec(
+                spec, net_name=label, threads=team, batch=args.batch,
+                claim=args.claim,
+            )
+            if args.certify and team > 1 and label in _SPECS:
+                certify_findings, _ = certify_plan(
+                    label, threads=team, claim=args.claim,
+                    iters=args.certify_iters, batch=args.certify_batch,
+                )
+                net_report.findings.extend(certify_findings)
+            report.reports.append(net_report)
+
+    if args.emit_plan:
+        only = report.reports[0]
+        if only.plan is None:
+            print(f"cannot emit plan: planning {only.net!r} failed",
+                  file=sys.stderr)
+            return 1
+        only.plan.save(args.emit_plan)
+        print(f"plan written to {args.emit_plan}")
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
 def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
     def build():
         from repro.data import register_default_sources
@@ -399,6 +539,8 @@ def main(argv=None) -> int:
         return detcheck_main(argv[1:])
     if argv and argv[0] == "rescheck":
         return rescheck_main(argv[1:])
+    if argv and argv[0] == "plancheck":
+        return plancheck_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

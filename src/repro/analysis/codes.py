@@ -1,6 +1,6 @@
 """The coded-finding catalogue of the analysis suite.
 
-Four passes, four code families, one place that names them all:
+Five passes, five code families, one place that names them all:
 
 * **FP/RT** — parallel-safety analyzer (PR 1): write-footprint
   classification and runtime-invariant lint.
@@ -10,6 +10,9 @@ Four passes, four code families, one place that names them all:
 * **RS** — resilience certifier (PR 5): unguarded-state-write lint,
   checkpoint/resume bitwise certification, and fault-injection
   recovery certification.
+* **PL** — auto-parallelization planner (PR 6): per-layer execution-plan
+  lint, load-time executor/plan drift checks, and planned-run tier
+  certification.
 
 ``python -m repro.analysis --list-codes`` prints this table.  Codes are
 stable identifiers: CI configs and suppression lists may reference them,
@@ -149,6 +152,47 @@ CODE_CATALOGUE: Dict[str, Tuple[str, str, str]] = {
               "damaged checkpoint accepted: a corrupt, truncated, or "
               "pre-resilience snapshot must be rejected with a coded "
               "CheckpointCorrupt/CheckpointFormatError"),
+    # ---- auto-parallelization planner: static plan lint ----
+    "PL001": ("plancheck", "error",
+              "plan references an unknown layer (or the net cannot be "
+              "planned: unregistered layer type / shape error)"),
+    "PL002": ("plancheck", "error",
+              "coalesced dims inconsistent with the layer's iteration "
+              "space (dims product, coalesce depth, or granularity "
+              "mismatch)"),
+    "PL003": ("plancheck", "error",
+              "thread count exceeds the chunkable extent (more threads "
+              "than schedulable units at the plan's granularity)"),
+    "PL004": ("plancheck", "error",
+              "a layer's reduction mode / schedule delivers a weaker "
+              "invariance tier than the plan claims"),
+    "PL005": ("plancheck", "warning",
+              "plan predicted slower than the uniform baseline (the "
+              "uniform strategy is always in the search space, so this "
+              "flags a planner regression)"),
+    "PL006": ("plancheck", "info",
+              "predicted static-schedule imbalance exceeds 20% for a "
+              "layer (busiest thread vs ideal split)"),
+    # ---- auto-parallelization planner: executor/plan drift at load ----
+    "PL101": ("plancheck", "error",
+              "plan/net mismatch at load time (derived for a different "
+              "net, or a plan entry matches no live layer)"),
+    "PL102": ("plancheck", "error",
+              "a layer's recorded iteration space drifted from the live "
+              "net's actual coalesced space (granularity is ignored)"),
+    "PL103": ("plancheck", "error",
+              "a layer plan wants more threads than the executor team "
+              "has"),
+    "PL104": ("plancheck", "warning",
+              "parallelizable live layer has no plan entry; it falls "
+              "back to the executor-wide uniform strategy"),
+    # ---- auto-parallelization planner: dynamic tier certification ----
+    "PL201": ("plancheck", "error",
+              "planned run violates the plan's claimed invariance tier "
+              "(trajectory diverges where the tier promises equality)"),
+    "PL202": ("plancheck", "info",
+              "planned-run divergence within the claimed tier (first "
+              "diverging site and ULP distance reported)"),
 }
 
 
@@ -156,7 +200,7 @@ def catalogue_lines() -> List[str]:
     """Human-readable rendering of the full code catalogue."""
     lines = [f"{len(CODE_CATALOGUE)} finding codes "
              "(FP/RT: parallel-safety, NG: netcheck, DC: detcheck, "
-             "RS: rescheck)"]
+             "RS: rescheck, PL: plancheck)"]
     for code, (pass_name, severity, desc) in sorted(CODE_CATALOGUE.items()):
         lines.append(f"  {code}  {pass_name:<10} {severity:<8} {desc}")
     return lines

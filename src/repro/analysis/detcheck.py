@@ -138,12 +138,16 @@ def capture_trajectory(
     batch: Optional[int] = None,
     threads: int = 0,
     mode: str = "blockwise",
+    plan=None,
 ) -> Trajectory:
     """Train ``name`` for ``iters`` steps and snapshot every step bitwise.
 
     ``threads == 0`` is the plain sequential baseline (no executor
     machinery at all); otherwise a :class:`ParallelExecutor` with
-    ``threads`` threads and reduction ``mode`` drives the net.
+    ``threads`` threads and reduction ``mode`` drives the net.  ``plan``
+    optionally supplies a per-layer
+    :class:`~repro.core.plan.ExecutionPlan` (plancheck's tier
+    certification replays planned configurations through this path).
     """
     from repro.core import ParallelExecutor
 
@@ -168,7 +172,9 @@ def capture_trajectory(
 
     if threads == 0:
         return run(None)
-    with ParallelExecutor(num_threads=threads, reduction=mode) as executor:
+    with ParallelExecutor(
+        num_threads=threads, reduction=mode, plan=plan
+    ) as executor:
         return run(executor)
 
 

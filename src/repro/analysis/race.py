@@ -105,9 +105,25 @@ def run_dynamic(
     net_name: str,
     num_threads: int,
     schedule=None,
+    plan=None,
 ) -> DynamicReport:
-    """Shadow-memory race detection over one net at one thread count."""
+    """Shadow-memory race detection over one net at one thread count.
+
+    ``plan`` optionally supplies a per-layer
+    :class:`~repro.core.plan.ExecutionPlan`; each planned layer's chunk
+    ownership is then replayed under its own thread count, granularity
+    and schedule instead of the uniform ``schedule`` (how plancheck's
+    acceptance tests run the FP race gate over planned configurations).
+    """
     from repro.core.parallel_net import iteration_owners
+    from repro.core.plan import plan_schedule_for
+
+    def layer_schedule(layer_name: str, space: int):
+        if plan is not None:
+            layer_plan = plan.for_layer(layer_name)
+            if layer_plan is not None:
+                return plan_schedule_for(layer_plan, space)
+        return schedule
 
     report = DynamicReport(net=net_name, num_threads=num_threads)
     tracker = ShadowTracker()
@@ -118,7 +134,9 @@ def run_dynamic(
         space = layer.forward_space(bottom, top)
         if space <= 0:
             continue
-        owners = iteration_owners(space, num_threads, schedule)
+        owners = iteration_owners(
+            space, num_threads, layer_schedule(layer.name, space)
+        )
         runs = owner_runs(owners)
         tracked = collect_tracked_arrays(net, layer, bottom, top)
 
@@ -149,7 +167,10 @@ def run_dynamic(
         for loop in layer.backward_loops(top, propagate_down, bottom):
             if loop.space <= 0:
                 continue
-            owners = iteration_owners(loop.space, num_threads, schedule)
+            owners = iteration_owners(
+                loop.space, num_threads,
+                layer_schedule(layer.name, loop.space),
+            )
             runs = owner_runs(owners)
             tracked = collect_tracked_arrays(net, layer, bottom, top)
 

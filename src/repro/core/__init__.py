@@ -17,6 +17,10 @@ built on it:
   (the paper's deterministic choice), ``atomic`` (the "reduction-based
   solution"), and ``blockwise`` (an extension that is bitwise invariant
   across thread counts).
+* :mod:`repro.core.plan` — :class:`ExecutionPlan`: per-layer execution
+  strategies (threads / coalesce granularity / schedule / reduction) as
+  a serializable runtime artifact, produced by the ``plancheck``
+  analysis pass and consumed by the executor.
 * :mod:`repro.core.parallel_net` — :class:`ParallelExecutor`: drives any
   framework Net's forward/backward with batch-level parallelism;
   plugs into the solvers as their executor (network-agnostic by
@@ -24,6 +28,13 @@ built on it:
 """
 
 from repro.core.coalesce import CoalescedSpace
+from repro.core.plan import (
+    ExecutionPlan,
+    LayerPlan,
+    PlannedSchedule,
+    plan_drift,
+    uniform_plan,
+)
 from repro.core.scheduling import (
     DynamicSchedule,
     GuidedSchedule,
@@ -44,9 +55,14 @@ __all__ = [
     "TracingExecutor",
     "CoalescedSpace",
     "DynamicSchedule",
+    "ExecutionPlan",
     "GuidedSchedule",
+    "LayerPlan",
     "ParallelExecutor",
+    "PlannedSchedule",
     "PrivatePool",
+    "plan_drift",
+    "uniform_plan",
     "REDUCTION_MODES",
     "Schedule",
     "StaticSchedule",

@@ -39,14 +39,21 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.plan import (
+    ExecutionPlan,
+    LayerPlan,
+    PlannedSchedule,
+    plan_schedule_for,
+)
 from repro.core.privatization import PrivatePool
 from repro.core.reduction import (
     REDUCTION_MODES,
+    TIER_ORDER,
     add_into,
     invariance_tier,
     tree_combine,
 )
-from repro.core.scheduling import Schedule, StaticSchedule
+from repro.core.scheduling import Schedule, StaticSchedule, make_schedule
 from repro.core.team import RegionContext, ThreadTeam, WorkerError
 from repro.framework.layer import LoopSpec
 from repro.framework.net import Net
@@ -116,6 +123,14 @@ class ParallelExecutor:
         :attr:`ownership_log` as a :class:`ChunkRecord` (used by the
         parallel-safety analyzer and tests).  Default off: the execution
         paths are then byte-for-byte the uninstrumented ones.
+    plan:
+        Optional per-layer :class:`~repro.core.plan.ExecutionPlan`
+        (typically produced by ``repro.analysis plancheck``).  Layers
+        with a plan entry run with their own thread count, chunk
+        granularity, schedule and reduction mode; a single-thread entry
+        executes inline on the master with no parallel region (bitwise
+        equal to the sequential pass).  Layers without an entry fall
+        back to the executor-wide settings above.
     """
 
     def __init__(
@@ -126,6 +141,7 @@ class ParallelExecutor:
         block_window: int = 8,
         team: Optional[ThreadTeam] = None,
         instrument: bool = False,
+        plan: Optional[ExecutionPlan] = None,
     ) -> None:
         if team is None and num_threads < 1:
             raise ValueError(
@@ -151,6 +167,7 @@ class ParallelExecutor:
         self.team = team or ThreadTeam(num_threads)
         self.pool = PrivatePool()
         self.instrument = instrument
+        self.plan = plan
         self.ownership_log: List[ChunkRecord] = []
 
     @property
@@ -161,8 +178,29 @@ class ParallelExecutor:
     def invariance_tier(self) -> str:
         """Strongest invariance tier this configuration can promise
         (see :mod:`repro.core.reduction`); the determinism certifier
-        verifies the promise dynamically."""
-        return invariance_tier(self.reduction, self.schedule.is_static)
+        verifies the promise dynamically.
+
+        With a per-layer plan the promise is the weakest tier across
+        the executor-wide settings and every planned layer (layers
+        without a plan entry run with the executor-wide settings, so
+        those stay in the minimum).
+        """
+        base = invariance_tier(self.reduction, self.schedule.is_static)
+        if self.plan is None:
+            return base
+        rank = TIER_ORDER[base]
+        for layer_plan in self.plan.layers.values():
+            layer_tier = layer_plan.tier(
+                self.reduction, self.schedule.is_static
+            )
+            rank = min(rank, TIER_ORDER[layer_tier])
+        by_rank = {v: k for k, v in TIER_ORDER.items()}
+        return by_rank[rank]
+
+    def _layer_plan(self, layer_name: str) -> Optional[LayerPlan]:
+        if self.plan is None:
+            return None
+        return self.plan.for_layer(layer_name)
 
     def _record(
         self, layer: str, phase: str, lo: int, hi: int, tid: int,
@@ -200,12 +238,20 @@ class ParallelExecutor:
                 body = lambda lo, hi, tid: layer.forward_chunk(
                     bottom, top, lo, hi
                 )
+            layer_plan = self._layer_plan(layer.name)
             try:
-                self.team.parallel_for(
-                    space,
-                    body,
-                    self.schedule,
-                )
+                if layer_plan is not None and layer_plan.threads <= 1:
+                    # Planned single-thread layer: run inline on the
+                    # master, no parallel region (bitwise equal to the
+                    # sequential pass, no fork/join overhead).
+                    body(0, space, 0)
+                else:
+                    self.team.parallel_for(
+                        space,
+                        body,
+                        self.schedule if layer_plan is None
+                        else plan_schedule_for(layer_plan, space),
+                    )
             except WorkerError as exc:
                 # Chunk-failure reporting: name the layer/phase whose
                 # region failed before the error unwinds to the solver.
@@ -245,7 +291,19 @@ class ParallelExecutor:
                 f"empty iteration space ({loop.space}); a LoopSpec must "
                 "cover at least one coalesced iteration"
             )
+        layer_plan = self._layer_plan(layer_name)
+        mode = self.reduction
+        inline = False
+        if layer_plan is not None:
+            if layer_plan.reduction is not None:
+                mode = layer_plan.reduction
+            inline = layer_plan.threads <= 1
         if not loop.reduction:
+            if inline:
+                if self.instrument:
+                    self._record(layer_name, "backward", 0, loop.space, 0)
+                loop.body(0, loop.space, loop.grad_targets)
+                return
             if self.instrument:
                 def plain_body(lo: int, hi: int, tid: int) -> None:
                     self._record(layer_name, "backward", lo, hi, tid)
@@ -254,23 +312,50 @@ class ParallelExecutor:
                 plain_body = lambda lo, hi, tid: loop.body(
                     lo, hi, loop.grad_targets
                 )
-            self.team.parallel_for(loop.space, plain_body, self.schedule)
+            self.team.parallel_for(
+                loop.space, plain_body,
+                self.schedule if layer_plan is None
+                else plan_schedule_for(layer_plan, loop.space),
+            )
             return
-        if self.reduction == "blockwise":
-            self._blockwise_loop(loop, layer_name)
-        elif self.reduction in ("ordered", "atomic"):
+        if inline:
+            # Planned single-thread reduction: accumulate straight into
+            # the shared targets, exactly like the sequential pass.
+            if self.instrument:
+                self._record(layer_name, "backward", 0, loop.space, 0, True)
+            loop.body(0, loop.space, loop.grad_targets)
+            return
+        schedule = (
+            self.schedule if layer_plan is None
+            else plan_schedule_for(layer_plan, loop.space)
+        )
+        if mode == "blockwise":
+            # The blockwise window loop iterates over *block indices*,
+            # not civ iterations, so a plan's civ granularity must not
+            # rescale its chunks — keep the thread limit only.
+            block_schedule = (
+                self.schedule if layer_plan is None
+                else PlannedSchedule(
+                    make_schedule(layer_plan.schedule),
+                    layer_plan.threads,
+                )
+            )
+            self._blockwise_loop(loop, layer_name, schedule=block_schedule)
+        elif mode in ("ordered", "atomic"):
             self._privatized_loop(
-                loop, ordered=self.reduction == "ordered",
-                layer_name=layer_name,
+                loop, ordered=mode == "ordered",
+                layer_name=layer_name, schedule=schedule,
             )
         else:  # tree
-            self._tree_loop(loop, layer_name)
+            self._tree_loop(loop, layer_name, schedule=schedule)
 
     def _privatized_loop(
-        self, loop: LoopSpec, ordered: bool, layer_name: str = "?"
+        self, loop: LoopSpec, ordered: bool, layer_name: str = "?",
+        schedule: Optional[Schedule] = None,
     ) -> None:
         """Algorithm 5: privatized accumulation + ordered/atomic merge."""
         team = self.team
+        sched = schedule or self.schedule
         sizes = [t.size for t in loop.grad_targets]
         if team.num_threads == 1:
             if self.instrument:
@@ -278,12 +363,12 @@ class ParallelExecutor:
             loop.body(0, loop.space, loop.grad_targets)
             return
         plan = (
-            self.schedule.plan(loop.space, team.num_threads)
-            if self.schedule.is_static else None
+            sched.plan(loop.space, team.num_threads)
+            if sched.is_static else None
         )
         server = (
             None if plan is not None
-            else self.schedule.chunk_server(loop.space, team.num_threads)
+            else sched.chunk_server(loop.space, team.num_threads)
         )
         instrument = self.instrument
 
@@ -312,18 +397,22 @@ class ParallelExecutor:
 
         team.parallel(region)
 
-    def _tree_loop(self, loop: LoopSpec, layer_name: str = "?") -> None:
+    def _tree_loop(
+        self, loop: LoopSpec, layer_name: str = "?",
+        schedule: Optional[Schedule] = None,
+    ) -> None:
         team = self.team
+        sched = schedule or self.schedule
         sizes = [t.size for t in loop.grad_targets]
         if team.num_threads == 1:
             if self.instrument:
                 self._record(layer_name, "backward", 0, loop.space, 0, True)
             loop.body(0, loop.space, loop.grad_targets)
             return
-        plan = self.schedule.plan(loop.space, team.num_threads) \
-            if self.schedule.is_static else None
+        plan = sched.plan(loop.space, team.num_threads) \
+            if sched.is_static else None
         server = None if plan is not None else \
-            self.schedule.chunk_server(loop.space, team.num_threads)
+            sched.chunk_server(loop.space, team.num_threads)
         per_thread: List[List[np.ndarray]] = [None] * team.num_threads  # type: ignore
         instrument = self.instrument
 
@@ -350,7 +439,10 @@ class ParallelExecutor:
         combined = tree_combine([g for g in per_thread if g is not None])
         add_into(loop.grad_targets, combined)
 
-    def _blockwise_loop(self, loop: LoopSpec, layer_name: str = "?") -> None:
+    def _blockwise_loop(
+        self, loop: LoopSpec, layer_name: str = "?",
+        schedule: Optional[Schedule] = None,
+    ) -> None:
         """Fixed-block accumulation: bitwise thread-count invariant.
 
         The space is cut at multiples of ``loop.block`` (block boundaries
@@ -359,6 +451,7 @@ class ParallelExecutor:
         order by the master.  Memory is bounded by
         ``block_window x sum(target sizes)``.
         """
+        sched = schedule or self.schedule
         block = max(loop.block, 1)
         nblocks = -(-loop.space // block)
         sizes = [t.size for t in loop.grad_targets]
@@ -376,7 +469,7 @@ class ParallelExecutor:
                         self._record(layer_name, "backward", lo, hi, tid, True)
                     loop.body(lo, hi, buffers[rel])
 
-            self.team.parallel_for(count, window_body, self.schedule)
+            self.team.parallel_for(count, window_body, sched)
             for rel in range(count):  # fixed block order
                 add_into(loop.grad_targets, buffers[rel])
 

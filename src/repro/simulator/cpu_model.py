@@ -147,6 +147,125 @@ class CPUModel:
         return max(compute, mem) + dispatch + locality + reduction + fork_join
 
     # ------------------------------------------------------------------
+    # per-candidate pricing (the plancheck planner's cost oracle)
+    # ------------------------------------------------------------------
+    def reduction_time(
+        self,
+        mode: str,
+        threads: int,
+        nbytes: float,
+        block_count: Optional[int] = None,
+    ) -> float:
+        """Gradient-merge time (us) for one reduction mode.
+
+        * ``ordered`` / ``atomic`` — every thread's private buffer is
+          added to the shared blob serially: ``T`` merges (what
+          :meth:`layer_time` charges).
+        * ``tree`` — pairwise combination by the master: ``T - 1``
+          merges total.
+        * ``blockwise`` — one private buffer per *block*, merged in
+          block order: ``block_count`` merges.  This is the price of
+          bitwise thread-count invariance — it does not shrink as
+          threads grow, which is exactly why the planner often prefers
+          running small reduction layers single-threaded instead.
+        """
+        if nbytes <= 0 or threads <= 1:
+            return 0.0
+        p = self.params
+        if mode == "tree":
+            merges = threads - 1
+        elif mode == "blockwise":
+            merges = block_count if block_count else threads
+        else:  # ordered / atomic
+            merges = threads
+        return merges * nbytes / p.merge_bw_bytes_per_us
+
+    def plan_layer_time(
+        self,
+        cost: LayerCost,
+        threads: int,
+        *,
+        team_threads: Optional[int] = None,
+        space: Optional[int] = None,
+        reduction_mode: Optional[str] = None,
+        block_count: Optional[int] = None,
+        producer: Optional[str] = None,
+        producer_threads: Optional[int] = None,
+    ) -> float:
+        """Modelled time (us) of one layer pass under a *plan candidate*.
+
+        Generalizes :meth:`layer_time` with the knobs a per-layer plan
+        can turn; with none of them turned (same threads as the team,
+        ``ordered`` reduction, no space override, producer at the same
+        width) it reduces to exactly ``layer_time(cost, threads)`` —
+        the cost-parity regression pins that.
+
+        ``threads``
+            Threads this layer actually uses.  ``1`` means the layer
+            runs inline on the master with **no parallel region**: no
+            fork/join, no imbalance, no merge — the serial formula.
+        ``space``
+            Distributable unit count after granularity folding (a
+            coalesce-depth choice shrinks the schedulable space, which
+            changes imbalance and the usable thread count).
+        ``reduction_mode`` / ``block_count``
+            Priced via :meth:`reduction_time`.
+        ``producer_threads``
+            Thread width of the producing layer.  A width mismatch
+            re-fetches the fraction of the input that lands on a
+            different thread's slice: ``miss * (1 - min/max)`` of the
+            input bytes — an inline (1-thread) producer degenerates to
+            the serial-producer penalty of :meth:`layer_time`.
+        """
+        p = self.params
+        if threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
+        if cost.serial or threads == 1:
+            return self.layer_time(cost, 1, producer)
+
+        dist_space = cost.space if space is None else space
+        serial_compute = cost.flops / self.op_rate(cost.type)
+        serial_dispatch = cost.segments * p.dispatch_us
+        used = min(threads, max(dist_space, 1))
+        imbalance = self._imbalance(dist_space, threads)
+        cores = min(self.effective_cores(threads), used)
+        compute = serial_compute / cores * imbalance
+        mem = self.memory_time(cost.bytes, used)
+        dispatch = serial_dispatch / used * imbalance
+
+        miss_frac = 0.0
+        if producer is not None and _dist_mismatch(producer, cost.dist):
+            miss_frac = p.locality_miss * (1.0 - 1.0 / threads)
+        elif (
+            producer_threads is not None
+            and producer_threads != threads
+            and cost.dist != "serial"
+        ):
+            narrow, wide = sorted((max(producer_threads, 1), threads))
+            miss_frac = p.locality_miss * (1.0 - narrow / wide)
+        locality = 0.0
+        if miss_frac and cost.input_bytes:
+            moved = cost.input_bytes * miss_frac
+            if threads > p.cores_per_node:
+                locality = moved / p.qpi_bw_bytes_per_us
+            else:
+                locality = moved / self.dram_bandwidth(threads)
+
+        reduction = 0.0
+        if cost.reduction_bytes:
+            reduction = self.reduction_time(
+                reduction_mode or "ordered", threads,
+                cost.reduction_bytes, block_count,
+            )
+
+        # Fork/join is a property of the parallel region, which always
+        # spans the whole team even when the plan caps this layer's
+        # worker count below it.
+        region = max(team_threads or threads, threads)
+        fork_join = p.fork_join_us * (1.0 + math.log2(region))
+        return max(compute, mem) + dispatch + locality + reduction + fork_join
+
+    # ------------------------------------------------------------------
     # whole-network evaluation
     # ------------------------------------------------------------------
     def layer_times(

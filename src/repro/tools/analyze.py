@@ -8,6 +8,9 @@ identical::
     python -m repro.tools.analyze netcheck --net lenet --gate # NG
     python -m repro.tools.analyze detcheck --threads 1,2,8    # DC
     python -m repro.tools.analyze rescheck --gate             # RS
+    python -m repro.tools.analyze plancheck --gate            # PL
+    python -m repro.tools.analyze plancheck --net lenet \\
+        --threads 8 --emit-plan lenet.plan.json               # PL
     python -m repro.tools.analyze --list-codes
 
 See :mod:`repro.analysis.__main__` for the full per-pass help.

@@ -7,6 +7,17 @@ Examples::
         --schedule static,2 --snapshot weights.npz
     python -m repro.tools.train --prototxt my_net.prototxt --iters 20
 
+Per-layer execution plans (from ``repro.analysis plancheck``)::
+
+    python -m repro.analysis plancheck --net lenet --threads 8 \\
+        --emit-plan lenet.plan.json
+    python -m repro.tools.train --net lenet --threads 8 \\
+        --reduction blockwise --plan lenet.plan.json
+
+A plan overrides the executor-wide thread/schedule/reduction choice per
+layer; it is validated against the live net before training (PL101+
+drift findings abort on error).
+
 Fault tolerance::
 
     python -m repro.tools.train --net lenet --iters 100 \\
@@ -61,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--schedule", default="static",
                         help="loop schedule, e.g. static, static,4, "
                              "dynamic,2 (default static)")
+    parser.add_argument("--plan", default=None, metavar="PATH",
+                        help="per-layer ExecutionPlan JSON (from "
+                             "'repro.analysis plancheck --emit-plan'); "
+                             "overrides threads/schedule/reduction per "
+                             "layer, validated against the net before "
+                             "training")
     parser.add_argument("--solver", default="SGD",
                         choices=("SGD", "AdaGrad", "Nesterov"))
     parser.add_argument("--lr", type=float, default=None,
@@ -99,12 +116,22 @@ def main(argv=None) -> int:
     if args.checkpoint_every and not args.checkpoint:
         parser.error("--checkpoint-every requires --checkpoint PATH")
 
+    plan = None
+    if args.plan:
+        from repro.core import ExecutionPlan
+
+        try:
+            plan = ExecutionPlan.load(args.plan)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot load plan {args.plan!r}: {exc}")
+
     executor = None
-    if args.threads > 1:
+    if args.threads > 1 or plan is not None:
         executor = ParallelExecutor(
             num_threads=args.threads,
             reduction=args.reduction,
             schedule=make_schedule(args.schedule),
+            plan=plan,
         )
 
     if args.net:
@@ -137,6 +164,21 @@ def main(argv=None) -> int:
         if executor is not None:
             solver.executor = executor
 
+    if plan is not None:
+        from repro.core import plan_drift
+
+        drift = plan_drift(plan, solver.net, args.threads)
+        for code, layer, message in drift:
+            stream = sys.stdout if code == "PL104" else sys.stderr
+            print(f"plan drift {code} [{layer}]: {message}", file=stream)
+        errors = [d for d in drift if d[0] != "PL104"]
+        if errors:
+            raise SystemExit(
+                f"plan {args.plan!r} does not match the live net "
+                f"({len(errors)} error(s)); re-emit it with "
+                f"'python -m repro.analysis plancheck --emit-plan'"
+            )
+
     solver.params.display = args.display
     solver.set_display(print)
     if args.guard:
@@ -150,7 +192,8 @@ def main(argv=None) -> int:
 
     print(f"training {args.net or args.prototxt}: {args.iters} iterations, "
           f"{args.threads} thread(s), {args.reduction} reduction, "
-          f"{args.schedule} schedule, {args.solver}")
+          f"{args.schedule} schedule, {args.solver}"
+          + (f", plan {args.plan}" if args.plan else ""))
     final_loss = solver.loss_history[-1] if solver.loss_history else 0.0
     try:
         while solver.iteration < args.iters:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.coalesce import CoalescedSpace
+from repro.core.scheduling import StaticSchedule
 
 
 class TestBijection:
@@ -66,3 +67,55 @@ class TestImbalance:
     def test_invalid_threads(self):
         with pytest.raises(ValueError):
             CoalescedSpace((4,)).imbalance(0)
+
+
+class TestDimSubsetOwnership:
+    """Plans may coalesce any dim subset (channel-only, spatial-only,
+    sample x channel, ...), not just the default sample-major space.
+    Whatever subset is chosen, the static chunk deal over the civ space
+    must partition it exactly: every multi-index owned by exactly one
+    thread."""
+
+    SUBSETS = {
+        "channel_only": (20,),
+        "spatial_only": (24, 24),
+        "sample_channel": (64, 20),
+    }
+
+    @pytest.mark.parametrize("threads", [1, 2, 8])
+    @pytest.mark.parametrize(
+        "dims", SUBSETS.values(), ids=SUBSETS.keys()
+    )
+    def test_static_chunks_partition_exactly(self, dims, threads):
+        space = CoalescedSpace(dims)
+        per_thread = StaticSchedule().plan(space.size, threads)
+        assert len(per_thread) == threads
+        owner = {}
+        for tid, chunks in enumerate(per_thread):
+            for lo, hi in chunks:
+                assert 0 <= lo <= hi <= space.size
+                for civ in range(lo, hi):
+                    indices = space.indices(civ)
+                    assert all(
+                        0 <= i < d for i, d in zip(indices, dims)
+                    )
+                    assert indices not in owner, (
+                        f"civ {civ} owned by both {owner[indices]} "
+                        f"and {tid}"
+                    )
+                    owner[indices] = tid
+        assert len(owner) == space.size
+
+    @pytest.mark.parametrize("threads", [1, 2, 8])
+    @pytest.mark.parametrize(
+        "dims", SUBSETS.values(), ids=SUBSETS.keys()
+    )
+    def test_chunked_round_robin_partitions_exactly(self, dims, threads):
+        """Same invariant under the round-robin chunked static deal."""
+        space = CoalescedSpace(dims)
+        per_thread = StaticSchedule(chunk=7).plan(space.size, threads)
+        covered = []
+        for chunks in per_thread:
+            for lo, hi in chunks:
+                covered.extend(range(lo, hi))
+        assert sorted(covered) == list(range(space.size))
