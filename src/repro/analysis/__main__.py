@@ -71,7 +71,22 @@ planned configuration and certifies its claimed invariance tier
 bitwise (PL201/PL202).  ``--gate`` fails on any ERROR or on a plan
 predicted slower than the uniform baseline (PL005).
 
-``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS/PL
+Subcommand mode (graph compiler certifier)::
+
+    python -m repro.analysis fusecheck --net lenet --threads 1,2,8 --gate
+    python -m repro.analysis fusecheck --certify --json
+    python -m repro.analysis fusecheck --prototxt my_net.prototxt
+
+``fusecheck`` runs every requested net through the graph compiler
+(:mod:`repro.compiler`): operator fusion + in-place rewriting, then the
+static memory arena.  The transformed net is held to the existing
+gates — netcheck shape parity and footprint lint (FU002 + absorbed FP
+codes), arena aliasing audit (FU003), spec/net cost-model parity
+(FU004), and plancheck's plan lint — and ``--certify`` replays the
+fused+arena net under the planner's plan at each team size, requiring
+bitwise identity with the unfused sequential baseline (FU201/FU202).
+
+``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS/PL/FU
 catalogue.
 """
 
@@ -492,6 +507,102 @@ def plancheck_main(argv) -> int:
     return 0
 
 
+def fusecheck_main(argv) -> int:
+    from repro.analysis.fusecheck import (
+        FusecheckReport,
+        certify_fuse,
+        check_fuse,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis fusecheck",
+        description="Graph-compiler certifier: fuses each net's "
+                    "elementwise chains, plans the static memory arena, "
+                    "and holds the transformed net to the existing "
+                    "gates (FU001-FU005); --certify replays the "
+                    "fused+arena net and requires bitwise identity "
+                    "with the unfused sequential baseline "
+                    "(FU201/FU202).",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to compile (repeatable; default: all zoo nets "
+             "when no --prototxt is given)",
+    )
+    parser.add_argument(
+        "--prototxt", action="append", default=[], metavar="FILE",
+        help="user prototxt to compile (repeatable)",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads, default=[1, 2, 8],
+        metavar="N,N,...",
+        help="team sizes to check/certify at (default: 1,2,8)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="override every feeder's batch size before compiling",
+    )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="replay the fused+arena net at each team size and require "
+             "bitwise identity with the unfused sequential baseline "
+             "(zoo nets only)",
+    )
+    parser.add_argument(
+        "--certify-iters", type=int, default=2, metavar="N",
+        help="training iterations per certification replay (default: 2)",
+    )
+    parser.add_argument(
+        "--certify-batch", type=int, default=4, metavar="N",
+        help="batch size for the certification replays (default: 4)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable report as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero on any ERROR finding",
+    )
+    args = parser.parse_args(argv)
+
+    if args.batch is not None and args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
+    if args.certify_iters < 1:
+        parser.error(f"--certify-iters must be >= 1, "
+                     f"got {args.certify_iters}")
+    if args.certify_batch < 1:
+        parser.error(f"--certify-batch must be >= 1, "
+                     f"got {args.certify_batch}")
+
+    specs = _load_specs(args.net, args.prototxt)
+
+    from repro.zoo.build import _SPECS
+
+    report = FusecheckReport()
+    for label, spec in specs:
+        for team in args.threads:
+            net_report = check_fuse(
+                spec, net_name=label, threads=team, batch=args.batch)
+            if args.certify and label in _SPECS:
+                certify_findings, _ = certify_fuse(
+                    label, threads=team,
+                    iters=args.certify_iters, batch=args.certify_batch,
+                )
+                net_report.findings.extend(certify_findings)
+            report.reports.append(net_report)
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
 def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
     def build():
         from repro.data import register_default_sources
@@ -541,6 +652,8 @@ def main(argv=None) -> int:
         return rescheck_main(argv[1:])
     if argv and argv[0] == "plancheck":
         return plancheck_main(argv[1:])
+    if argv and argv[0] == "fusecheck":
+        return fusecheck_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

@@ -1,6 +1,6 @@
 """The coded-finding catalogue of the analysis suite.
 
-Five passes, five code families, one place that names them all:
+Six passes, six code families, one place that names them all:
 
 * **FP/RT** — parallel-safety analyzer (PR 1): write-footprint
   classification and runtime-invariant lint.
@@ -13,6 +13,9 @@ Five passes, five code families, one place that names them all:
 * **PL** — auto-parallelization planner (PR 6): per-layer execution-plan
   lint, load-time executor/plan drift checks, and planned-run tier
   certification.
+* **FU** — graph compiler (PR 7): operator-fusion / memory-arena
+  transform checks (shape and cost parity, arena aliasing) and
+  fused-vs-unfused bitwise replay certification.
 
 ``python -m repro.analysis --list-codes`` prints this table.  Codes are
 stable identifiers: CI configs and suppression lists may reference them,
@@ -193,6 +196,29 @@ CODE_CATALOGUE: Dict[str, Tuple[str, str, str]] = {
     "PL202": ("plancheck", "info",
               "planned-run divergence within the claimed tier (first "
               "diverging site and ULP distance reported)"),
+    # ---- graph compiler: fusion / arena transform checks ----
+    "FU001": ("fusecheck", "error",
+              "fusion pass failed (invalid transformed spec, or the "
+              "fused net cannot be built)"),
+    "FU002": ("fusecheck", "error",
+              "fused shape parity violated: the fused spec's inferred "
+              "blob shapes differ from the unfused net's at a surviving "
+              "blob (or the fused spec fails netcheck)"),
+    "FU003": ("fusecheck", "error",
+              "arena aliasing: two simultaneously-live blobs were "
+              "assigned overlapping arena storage"),
+    "FU004": ("fusecheck", "error",
+              "fused cost parity broken: spec_costs and net_costs "
+              "disagree on a fused layer's work descriptor"),
+    "FU005": ("fusecheck", "info",
+              "no fusable chains or in-place opportunities in the net"),
+    # ---- graph compiler: dynamic replay certification ----
+    "FU201": ("fusecheck", "error",
+              "fused+arena replay diverges bitwise from the unfused "
+              "sequential baseline trajectory"),
+    "FU202": ("fusecheck", "info",
+              "fused+arena replay certified bitwise-identical to the "
+              "unfused sequential baseline"),
 }
 
 
@@ -200,7 +226,7 @@ def catalogue_lines() -> List[str]:
     """Human-readable rendering of the full code catalogue."""
     lines = [f"{len(CODE_CATALOGUE)} finding codes "
              "(FP/RT: parallel-safety, NG: netcheck, DC: detcheck, "
-             "RS: rescheck, PL: plancheck)"]
+             "RS: rescheck, PL: plancheck, FU: fusecheck)"]
     for code, (pass_name, severity, desc) in sorted(CODE_CATALOGUE.items()):
         lines.append(f"  {code}  {pass_name:<10} {severity:<8} {desc}")
     return lines

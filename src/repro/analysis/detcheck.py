@@ -107,7 +107,8 @@ class Trajectory:
     snapshots: Tuple[IterationSnapshot, ...]
 
 
-def _build_solver(name: str, iters: int, batch: Optional[int], executor):
+def _build_solver(name: str, iters: int, batch: Optional[int], executor,
+                  spec_transform=None, post_build=None):
     from repro.data import register_default_sources
     from repro.framework.net import Net
     from repro.framework.solvers import create_solver
@@ -125,7 +126,11 @@ def _build_solver(name: str, iters: int, batch: Optional[int], executor):
         for layer_spec in spec.layers:
             if "batch_size" in layer_spec.params:
                 layer_spec.params["batch_size"] = batch
+    if spec_transform is not None:
+        spec = spec_transform(spec)
     net = Net(spec, phase="TRAIN")
+    if post_build is not None:
+        post_build(net)
     solver = create_solver(params_fn(max_iter=iters), net)
     if executor is not None:
         solver.executor = executor
@@ -139,6 +144,8 @@ def capture_trajectory(
     threads: int = 0,
     mode: str = "blockwise",
     plan=None,
+    spec_transform=None,
+    post_build=None,
 ) -> Trajectory:
     """Train ``name`` for ``iters`` steps and snapshot every step bitwise.
 
@@ -148,11 +155,16 @@ def capture_trajectory(
     optionally supplies a per-layer
     :class:`~repro.core.plan.ExecutionPlan` (plancheck's tier
     certification replays planned configurations through this path).
+    ``spec_transform`` rewrites the zoo spec before the net is built and
+    ``post_build`` mutates the built net (fusecheck certifies the graph
+    compiler by replaying fused+arena nets through these hooks).
     """
     from repro.core import ParallelExecutor
 
     def run(executor) -> Trajectory:
-        solver = _build_solver(name, iters, batch, executor)
+        solver = _build_solver(name, iters, batch, executor,
+                               spec_transform=spec_transform,
+                               post_build=post_build)
         net = solver.net
         snapshots = []
         for _ in range(iters):

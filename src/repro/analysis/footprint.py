@@ -58,6 +58,11 @@ _FRESH_FUNCS = {
     "sqrt", "power", "abs", "maximum", "minimum", "tanh", "prod",
 }
 
+# Module-level helpers returning thread-private storage: the scratch
+# pool hands each worker thread its own buffer, so a pooled array is as
+# chunk-private as a fresh np.empty.
+_POOL_FUNCS = {"scratch_buffer"}
+
 # Methods that return a *view* of their receiver (alias-preserving).
 _VIEW_METHODS = {"reshape", "ravel", "view", "squeeze", "transpose"}
 # Methods returning a copy (result is private).
@@ -211,6 +216,8 @@ class _ChunkVisitor(ast.NodeVisitor):
             if func.attr in _COPY_METHODS:
                 return _LOCAL
             return _UNKNOWN
+        if isinstance(func, ast.Name) and func.id in _POOL_FUNCS:
+            return _LOCAL
         return _UNKNOWN
 
     # -- chunk-boundedness --------------------------------------------

@@ -1,0 +1,333 @@
+"""Graph-compiler certifier: fusion + arena checked by the existing gates.
+
+``fusecheck`` takes every net through the full compiler pipeline and
+holds the result to the analyzers' standards:
+
+1. **Transform** — :func:`repro.compiler.fuse.fuse_spec` (FU001 when the
+   pass itself fails, FU005 info when there is nothing to fuse).
+2. **Shape parity** — the fused spec must lint clean under netcheck and
+   every blob surviving fusion must keep its unfused shape (FU002).
+3. **Footprint lint** — the fused layer classes run through the static
+   FP analyzer; their chunk methods must classify exactly as declared
+   (absorbed FP findings).
+4. **Arena audit** — :func:`repro.compiler.arena.plan_arena` on the
+   built net; no two simultaneously-live blobs may share storage
+   (FU003), and the liveness-peak memory is reported.
+5. **Cost parity** — ``spec_costs`` and ``net_costs`` must agree on the
+   fused net's work descriptors (FU004), so the planner prices fused
+   layers identically from a spec or a live net.
+6. **Plan lint** — the fused spec goes through plancheck's planner;
+   its PL findings are absorbed.
+7. **Replay certification** (zoo nets) — the fused net, with the arena
+   applied and the planner's plan driving a thread team, must train
+   bitwise identically to the *unfused sequential* baseline (FU201 on
+   divergence, FU202 info on success).
+
+The ``--gate`` contract matches the other passes: any ERROR fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.report import ERROR, INFO, Finding
+from repro.framework.net_spec import NetSpec
+
+
+@dataclass
+class NetFuseReport:
+    """Fusion + arena certification for one net at one team size."""
+
+    net: str
+    phase: str = "TRAIN"
+    batch: Optional[int] = None
+    threads: int = 1
+    findings: List[Finding] = field(default_factory=list)
+    fusion: Optional[dict] = None        # FusionReport.to_json()
+    arena: Optional[dict] = None         # ArenaReport.to_json()
+    predicted_us: float = 0.0
+    uniform_us: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == ERROR for f in self.findings)
+
+    @property
+    def gate_ok(self) -> bool:
+        return self.ok
+
+    def to_json(self) -> dict:
+        return {
+            "net": self.net,
+            "phase": self.phase,
+            "batch": self.batch,
+            "threads": self.threads,
+            "ok": self.ok,
+            "fusion": self.fusion,
+            "arena": self.arena,
+            "predicted_us": self.predicted_us,
+            "uniform_us": self.uniform_us,
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def summary_lines(self) -> List[str]:
+        status = "OK" if self.ok else "VIOLATIONS"
+        fused = len(self.fusion["fused"]) if self.fusion else 0
+        rewrites = len(self.fusion["rewrites"]) if self.fusion else 0
+        line = (
+            f"fusecheck: net={self.net} phase={self.phase} "
+            f"threads={self.threads} -> {status} "
+            f"({fused} chain(s) fused, {rewrites} in-place rewrite(s)"
+        )
+        if self.arena:
+            line += (
+                f"; arena {self.arena['baseline_bytes']} -> "
+                f"{self.arena['arena_bytes']} B"
+            )
+        line += ")"
+        lines = [line]
+        if self.fusion:
+            for d in self.fusion["fused"]:
+                lines.append(
+                    f"  {d['primary']} <- {' + '.join(d['absorbed'])} "
+                    f"({d['fused_type']})"
+                )
+            for r in self.fusion["rewrites"]:
+                lines.append(
+                    f"  in-place: {r['layer']} now writes {r['new_top']} "
+                    f"(was {r['old_top']})"
+                )
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.rule}/{finding.severity}] "
+                f"{finding.layer or '<net>'}: {finding.message}"
+            )
+        return lines
+
+
+@dataclass
+class FusecheckReport:
+    """Top-level document: one entry per (net, team size)."""
+
+    reports: List[NetFuseReport] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Finding]:
+        out: List[Finding] = []
+        for report in self.reports:
+            out.extend(report.findings)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(r.gate_ok for r in self.reports)
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "reports": [r.to_json() for r in self.reports],
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines: List[str] = []
+        for report in self.reports:
+            lines.extend(report.summary_lines())
+        lines.append("verdict: " + ("OK" if self.ok else "VIOLATIONS FOUND"))
+        return lines
+
+
+def _with_batch(spec: NetSpec, batch: Optional[int]) -> NetSpec:
+    """A deep copy of ``spec`` with every feeder's batch extent patched,
+    mirroring what ``infer_net(batch=...)`` does symbolically so the
+    live net and the symbolic costs describe the same workload."""
+    import copy
+
+    if batch is None:
+        return spec
+    patched = copy.deepcopy(spec)
+    for layer_spec in patched.layers:
+        if "batch_size" in layer_spec.params:
+            layer_spec.params["batch_size"] = batch
+    patched.input_shapes = [
+        [batch, *shape[1:]] for shape in patched.input_shapes
+    ]
+    return patched
+
+
+def _fused_layer_classes():
+    from repro.framework.layers.fused import (
+        FusedConvolutionLayer,
+        FusedEltwiseReLU,
+        FusedInnerProductReLU,
+        FusedScaleBias,
+    )
+
+    return [
+        FusedConvolutionLayer,
+        FusedInnerProductReLU,
+        FusedEltwiseReLU,
+        FusedScaleBias,
+    ]
+
+
+def check_fuse(
+    spec: NetSpec,
+    *,
+    net_name: str = "",
+    phase: str = "TRAIN",
+    threads: int = 8,
+    batch: Optional[int] = None,
+) -> NetFuseReport:
+    """Run the static stages (1-6 above) for one net at one team size."""
+    from repro.analysis.footprint import analyze_classes
+    from repro.analysis.netcheck import check_spec
+    from repro.analysis.plancheck import plan_spec
+    from repro.compiler.fuse import FusionError, fuse_spec
+    from repro.framework.net import Net
+    from repro.simulator.cost_model import net_costs, spec_costs
+
+    label = net_name or spec.name or "<anonymous>"
+    report = NetFuseReport(
+        net=label, phase=phase, batch=batch, threads=threads)
+
+    # 1. transform
+    try:
+        fused_spec, fusion = fuse_spec(spec)
+    except (FusionError, ValueError, KeyError) as exc:
+        report.findings.append(Finding(
+            "FU001", ERROR, "", f"fusion pass failed for {label!r}: {exc}"))
+        return report
+    report.fusion = fusion.to_json()
+    if not fusion.fused and not fusion.rewrites:
+        report.findings.append(Finding(
+            "FU005", INFO, "",
+            f"no fusable chains or in-place opportunities in {label!r}"))
+
+    # 2. netcheck + shape parity on the surviving blobs
+    base_check = check_spec(spec, phase=phase, threads=[threads], batch=batch)
+    fused_check = check_spec(
+        fused_spec, phase=phase, threads=[threads], batch=batch)
+    if not fused_check.ok:
+        for f in fused_check.findings:
+            if f.severity == ERROR:
+                report.findings.append(Finding(
+                    "FU002", ERROR, f.layer,
+                    f"fused spec fails netcheck [{f.rule}]: {f.message}"))
+    for name, shape in fused_check.shapes.items():
+        base_shape = base_check.shapes.get(name)
+        if base_shape is not None and tuple(base_shape) != tuple(shape):
+            report.findings.append(Finding(
+                "FU002", ERROR, name,
+                f"shape parity violated at blob {name!r}: unfused "
+                f"{tuple(base_shape)} vs fused {tuple(shape)}"))
+
+    # 3. footprint lint of the fused layer classes
+    for cls_name, layer_report in analyze_classes(
+            _fused_layer_classes()).items():
+        for f in layer_report.findings:
+            report.findings.append(Finding(
+                f.rule, f.severity, cls_name, f.message, f.location))
+
+    # 4 + 5 need a live net; a spec that cannot build is a compiler
+    # failure for zoo nets and a hard stop either way.
+    net = None
+    if fused_check.ok:
+        try:
+            net = Net(_with_batch(fused_spec, batch), phase=phase)
+            net.forward()
+        except Exception as exc:
+            report.findings.append(Finding(
+                "FU001", ERROR, "",
+                f"fused net for {label!r} cannot be built/run: {exc}"))
+            net = None
+    if net is not None:
+        from repro.compiler.arena import plan_arena
+
+        arena = plan_arena(net)
+        report.arena = arena.to_json()
+        for a, b in arena.overlap_violations():
+            report.findings.append(Finding(
+                "FU003", ERROR, a,
+                f"arena aliasing: blobs {a!r} and {b!r} share storage "
+                f"while simultaneously live"))
+
+        live = net_costs(net)
+        symbolic = spec_costs(fused_spec, phase=phase, batch=batch)
+        if len(live) != len(symbolic):
+            report.findings.append(Finding(
+                "FU004", ERROR, "",
+                f"fused cost parity broken: net_costs has {len(live)} "
+                f"entries, spec_costs {len(symbolic)}"))
+        else:
+            for lc, sc in zip(live, symbolic):
+                if lc != sc:
+                    report.findings.append(Finding(
+                        "FU004", ERROR, lc.name,
+                        f"fused cost parity broken at {lc.key}: "
+                        f"net={lc} vs spec={sc}"))
+                    break
+
+    # 6. plan lint of the fused spec
+    plan_report = plan_spec(
+        fused_spec, net_name=label, threads=threads, batch=batch)
+    report.predicted_us = plan_report.predicted_us
+    report.uniform_us = plan_report.uniform_us
+    report.findings.extend(plan_report.findings)
+    return report
+
+
+def certify_fuse(
+    net_name: str,
+    *,
+    threads: int = 8,
+    iters: int = 2,
+    batch: int = 4,
+) -> Tuple[List[Finding], Optional[object]]:
+    """Stage 7: bitwise replay of the fused+arena net vs the unfused
+    sequential baseline.  Returns ``(findings, plan)``."""
+    from repro.analysis.detcheck import capture_trajectory, first_divergence
+    from repro.analysis.plancheck import plan_spec
+    from repro.compiler.arena import apply_arena
+    from repro.compiler.fuse import fuse_spec
+    from repro.zoo.build import _SPECS
+
+    if net_name not in _SPECS:
+        raise KeyError(f"unknown zoo net {net_name!r}")
+    findings: List[Finding] = []
+    fused_spec, _ = fuse_spec(_SPECS[net_name][0]())
+    plan_report = plan_spec(
+        fused_spec, net_name=net_name, threads=threads, batch=batch)
+    findings.extend(
+        f for f in plan_report.findings if f.severity == ERROR)
+    if findings or plan_report.plan is None:
+        return findings, plan_report.plan
+    plan = plan_report.plan
+
+    baseline = capture_trajectory(net_name, iters, batch=batch)
+    fused = capture_trajectory(
+        net_name, iters, batch=batch, threads=threads, mode="blockwise",
+        plan=plan,
+        spec_transform=lambda s: fuse_spec(s)[0],
+        post_build=apply_arena,
+    )
+    if baseline.param_names != fused.param_names:
+        findings.append(Finding(
+            "FU201", ERROR, "",
+            f"fused net's learnable parameters differ from the "
+            f"baseline's: {list(fused.param_names)} vs "
+            f"{list(baseline.param_names)}"))
+        return findings, plan
+    divergence = first_divergence(baseline, fused)
+    if divergence is not None:
+        findings.append(Finding(
+            "FU201", ERROR, divergence.layer,
+            f"fused+arena replay diverges from the unfused sequential "
+            f"baseline: {divergence.describe()}"))
+    else:
+        findings.append(Finding(
+            "FU202", INFO, "",
+            f"fused+arena replay bitwise-identical to the unfused "
+            f"sequential baseline ({iters} iters, batch {batch}, "
+            f"{threads} thread(s))"))
+    return findings, plan

@@ -206,12 +206,14 @@ def _scan_tree(tree: ast.AST, where: str, path: str) -> List[Finding]:
 
 def default_lint_roots() -> List[Path]:
     """The packages whose determinism the certifier vouches for."""
+    import repro.compiler
     import repro.core
     import repro.data
     import repro.framework
 
     return [Path(pkg.__file__).parent
-            for pkg in (repro.core, repro.framework, repro.data)]
+            for pkg in (repro.core, repro.framework, repro.data,
+                        repro.compiler)]
 
 
 def lint_sources(roots: Optional[Iterable[Path]] = None) -> List[Finding]:

@@ -1,0 +1,61 @@
+"""Graph compiler: spec-to-spec transforms certified by the analyzers.
+
+The packages below *rewrite* nets rather than merely linting them, in
+three independent pieces:
+
+* :mod:`repro.compiler.fuse` — operator fusion over a
+  :class:`~repro.framework.net_spec.NetSpec`: elementwise chains
+  (Conv→Bias/Scale→ReLU, InnerProduct→ReLU, Eltwise→ReLU, Scale→Bias)
+  collapse into single fused layers that make one pass over the
+  coalesced iteration space, plus in-place rewriting of elementwise
+  layers where the DAG allows.
+* :mod:`repro.compiler.arena` — static memory arena: planner-derived
+  offset assignment of activation storage into shared slabs, reusing a
+  region whenever liveness proves two blobs never coexist.
+* :mod:`repro.compiler.scratch` — the per-thread scratch-buffer pool
+  chunk code draws work arrays from (im2col column buffers).
+
+Every transform is checked by the existing gates — netcheck shape
+parity, the FP footprint lint, and bitwise replay against the unfused
+sequential baseline — via ``python -m repro.analysis fusecheck``.
+
+``fuse``/``arena`` import the framework, and the framework's conv layer
+imports :mod:`repro.compiler.scratch`; to keep that cycle open this
+package only loads the heavy modules lazily.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.compiler.scratch import (  # noqa: F401  (re-export)
+    clear_pool,
+    pool_stats,
+    reset_pool_stats,
+    scratch_buffer,
+)
+
+_LAZY = {
+    "fuse_spec": "fuse",
+    "rewrite_inplace": "fuse",
+    "FusionReport": "fuse",
+    "FusionError": "fuse",
+    "plan_arena": "arena",
+    "apply_arena": "arena",
+    "ArenaReport": "arena",
+    "BlobPlacement": "arena",
+}
+
+__all__ = sorted([
+    "scratch_buffer", "pool_stats", "reset_pool_stats", "clear_pool",
+    *_LAZY,
+])
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    return getattr(importlib.import_module(f"repro.compiler.{module}"), name)

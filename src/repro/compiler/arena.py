@@ -1,0 +1,253 @@
+"""Static memory arena: liveness-driven offset assignment for a net's
+activation blobs.
+
+:func:`plan_arena` computes, from a built :class:`~repro.framework.net.Net`,
+a placement of every activation blob into two shared slabs:
+
+* **data slab** — resident, sequential offsets, no reuse.  A TRAIN
+  backward pass reads bottom activations (conv's im2col of ``x``, the
+  fused ReLU masks, …) *after* the forward pass finished, so every
+  activation's data is live across the forward/backward turnaround and
+  no two may alias.
+* **diff slab** — offsets reused across liveness-disjoint blobs.  A
+  blob's diff is written by its consumers' backward and read by its
+  producer's backward; on the backward pass's reversed timeline the
+  wall-clock live range of ``d(b)`` is exactly the *reverse* of ``b``'s
+  forward layer-index interval ``[first_use, last_use]``.  Two blobs
+  whose index intervals are disjoint therefore never hold live diffs at
+  the same time, and first-fit packs them into shared storage.
+
+Reuse is bitwise-safe because every bottom-diff writer in the layer zoo
+overwrites before it reads (``np.copyto`` / ``out=`` / explicit
+``fill(0.0)`` before accumulation / BLAS with ``beta=0``) — stale bytes
+from the previous tenant are never observed.  Loss-top diffs are
+seeded at the start of the backward pass, so their intervals extend to
+the last layer.
+
+:func:`apply_arena` rebinds each blob's backing storage to its slab
+slice.  ``Blob`` hands out ``data``/``diff`` as fresh views of the
+backing array on every access, so rebinding is transparent to layers;
+capacities are sized to the blob's *allocated* capacity so later
+same-shape reshapes never reallocate away from the slab.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.framework.blob import DTYPE, Blob
+from repro.framework.net import Net
+
+_ITEM = np.dtype(DTYPE).itemsize
+
+
+@dataclass
+class BlobPlacement:
+    """Where one activation blob lives inside the arena (element units)."""
+
+    name: str
+    count: int           # logical element count at plan time
+    capacity: int        # backing capacity reserved in the slabs
+    first: int           # first layer index touching the blob
+    last: int            # last layer index touching the blob
+    data_offset: int
+    diff_offset: int
+
+    @property
+    def bytes(self) -> int:
+        return self.capacity * _ITEM
+
+
+@dataclass
+class ArenaReport:
+    """The computed arena layout plus the accounting around it."""
+
+    net: str = ""
+    placements: List[BlobPlacement] = field(default_factory=list)
+    data_slab_elems: int = 0
+    diff_slab_elems: int = 0
+    baseline_bytes: int = 0      # data+diff as individually allocated
+    skipped: List[str] = field(default_factory=list)
+    applied: bool = False
+
+    @property
+    def arena_bytes(self) -> int:
+        return (self.data_slab_elems + self.diff_slab_elems) * _ITEM
+
+    @property
+    def saved_bytes(self) -> int:
+        return self.baseline_bytes - self.arena_bytes
+
+    def overlap_violations(self) -> List[Tuple[str, str]]:
+        """Pairs of placements that alias while simultaneously live.
+
+        Data regions may never alias at all; diff regions may alias only
+        when the liveness intervals are disjoint.  An empty list is the
+        arena's core invariant.
+        """
+        bad: List[Tuple[str, str]] = []
+        ps = self.placements
+        for i in range(len(ps)):
+            for j in range(i + 1, len(ps)):
+                a, b = ps[i], ps[j]
+                data_alias = (a.data_offset < b.data_offset + b.capacity
+                              and b.data_offset < a.data_offset + a.capacity)
+                if data_alias:
+                    bad.append((a.name, b.name))
+                    continue
+                live_overlap = not (a.last < b.first or b.last < a.first)
+                diff_alias = (a.diff_offset < b.diff_offset + b.capacity
+                              and b.diff_offset < a.diff_offset + a.capacity)
+                if live_overlap and diff_alias:
+                    bad.append((a.name, b.name))
+        return bad
+
+    def to_json(self) -> dict:
+        return {
+            "format": "repro-arena-report/1",
+            "net": self.net,
+            "baseline_bytes": self.baseline_bytes,
+            "arena_bytes": self.arena_bytes,
+            "saved_bytes": self.saved_bytes,
+            "data_slab_bytes": self.data_slab_elems * _ITEM,
+            "diff_slab_bytes": self.diff_slab_elems * _ITEM,
+            "skipped": list(self.skipped),
+            "placements": [dataclasses.asdict(p) for p in self.placements],
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"arena[{self.net or 'net'}]: {len(self.placements)} blob(s), "
+            f"{self.baseline_bytes} B separate -> {self.arena_bytes} B "
+            f"arena ({self.saved_bytes} B saved)"
+        ]
+        for name in self.skipped:
+            lines.append(f"  skipped: {name}")
+        return lines
+
+
+def _liveness(net: Net):
+    """Per unique activation blob: (blob, first, last) over layer indices.
+
+    Loss-weighted tops extend to the final layer: their diffs are seeded
+    before the first backward step runs.
+    """
+    last_index = len(net.layers) - 1
+    intervals = {}  # id(blob) -> [blob, first, last]
+    order: List[int] = []
+
+    def touch(blob: Blob, idx: int) -> None:
+        key = id(blob)
+        entry = intervals.get(key)
+        if entry is None:
+            intervals[key] = [blob, idx, idx]
+            order.append(key)
+        else:
+            entry[1] = min(entry[1], idx)
+            entry[2] = max(entry[2], idx)
+
+    for blob in net.blob_map.values():
+        # net inputs exist before layer 0
+        if not any(any(t is blob for t in tops) for tops in net.tops):
+            touch(blob, 0)
+    for idx, (layer, bottoms, tops) in enumerate(
+            zip(net.layers, net.bottoms, net.tops)):
+        for blob in bottoms:
+            touch(blob, idx)
+        for blob, weight in zip(tops, layer.loss_weights):
+            touch(blob, idx)
+            if weight:
+                touch(blob, last_index)
+    return [tuple(intervals[key]) for key in order]
+
+
+def _first_fit(placed, capacity: int, first: int, last: int) -> int:
+    """Lowest diff-slab offset where ``capacity`` elements fit without
+    aliasing any live-overlapping prior placement."""
+    conflicts = sorted(
+        (p.diff_offset, p.capacity)
+        for p in placed
+        if not (p.last < first or last < p.first)
+    )
+    cursor = 0
+    for offset, cap in conflicts:
+        if offset - cursor >= capacity:
+            return cursor
+        cursor = max(cursor, offset + cap)
+    return cursor
+
+
+def plan_arena(net: Net) -> ArenaReport:
+    """Compute (but do not apply) the arena layout for ``net``."""
+    report = ArenaReport(net=net.name)
+    data_cursor = 0
+    diff_top = 0
+    for blob, first, last in _liveness(net):
+        capacity = max(int(blob._flat_data.size),
+                       int(blob._flat_diff.size), int(blob.count))
+        if capacity == 0:
+            report.skipped.append(f"{blob.name} (empty)")
+            continue
+        if blob._flat_data.base is not None or blob._flat_diff.base is not None:
+            # Already a view of someone else's storage — leave it alone.
+            report.skipped.append(f"{blob.name} (shared storage)")
+            continue
+        report.baseline_bytes += (
+            blob._flat_data.size + blob._flat_diff.size) * _ITEM
+        diff_offset = _first_fit(report.placements, capacity, first, last)
+        report.placements.append(BlobPlacement(
+            name=blob.name,
+            count=int(blob.count),
+            capacity=capacity,
+            first=first,
+            last=last,
+            data_offset=data_cursor,
+            diff_offset=diff_offset,
+        ))
+        data_cursor += capacity
+        diff_top = max(diff_top, diff_offset + capacity)
+    report.data_slab_elems = data_cursor
+    report.diff_slab_elems = diff_top
+    return report
+
+
+def apply_arena(net: Net, report: Optional[ArenaReport] = None) -> ArenaReport:
+    """Rebind ``net``'s activation blobs onto shared arena slabs.
+
+    Existing contents are preserved (copied into the slab), so applying
+    after warm-up iterations is safe.  Idempotent per net.
+    """
+    existing = getattr(net, "_arena_report", None)
+    if existing is not None:
+        return existing
+    if report is None:
+        report = plan_arena(net)
+    by_name = {p.name: p for p in report.placements}
+    data_slab = np.zeros(report.data_slab_elems, dtype=DTYPE)
+    diff_slab = np.zeros(report.diff_slab_elems, dtype=DTYPE)
+
+    seen = set()
+    for blob in net.blob_map.values():
+        if id(blob) in seen:
+            continue
+        seen.add(id(blob))
+        placement = by_name.get(blob.name)
+        if placement is None:
+            continue
+        lo, hi = placement.data_offset, placement.data_offset + placement.capacity
+        new_data = data_slab[lo:hi]
+        new_data[: blob._flat_data.size] = blob._flat_data
+        blob._flat_data = new_data
+        lo, hi = placement.diff_offset, placement.diff_offset + placement.capacity
+        new_diff = diff_slab[lo:hi]
+        new_diff[: blob._flat_diff.size] = blob._flat_diff
+        blob._flat_diff = new_diff
+
+    report.applied = True
+    net._arena_report = report
+    net._arena_slabs = (data_slab, diff_slab)
+    return report

@@ -1,0 +1,496 @@
+"""Operator fusion over a :class:`~repro.framework.net_spec.NetSpec`.
+
+:func:`fuse_spec` is a spec-to-spec transform: it detects elementwise
+chains —
+
+* ``Convolution -> [Bias | Scale] -> ReLU`` (middle optional),
+* ``InnerProduct -> ReLU``,
+* ``Eltwise -> ReLU``,
+* ``Scale -> Bias``,
+
+— and collapses each into one of the fused layer types registered in
+:mod:`repro.framework.layers.fused`, then (optionally) rewrites
+remaining elementwise layers (slope-0 ReLU, Dropout) to run in place on
+their bottom blob where the dataflow allows.
+
+Legality is deliberately conservative; a chain fuses only when
+
+* every link is a *single-consumer* production — the absorbed layer is
+  the only reader of that version of the blob, in **every** phase whose
+  layer list contains the primary (a TEST-only reader of an
+  intermediate blob vetoes the chain);
+* all members share the primary's ``phase`` and carry no
+  ``loss_weight``;
+* an absorbed ReLU has slope 0 (so its backward mask ``y > 0`` equals
+  the standalone ``x > 0`` bitwise);
+* an absorbed Bias/Scale middle works on axis 1, and a Scale (middle
+  *or* ``Scale -> Bias`` primary) is not already in place — its
+  coefficient gradient reads the pre-scale values, which only exist to
+  stash when the original graph materialized them.
+
+The in-place rewriter's legality mirrors the same discipline: the
+candidate's bottom must come from a producer whose backward never reads
+its own top data (pooling reads its argmax, conv reads bottom + diff,
+…), the bottom production must have no other reader, and the retargeted
+top name must be produced exactly once.  LRN, Sigmoid, TanH, Softmax
+and friends are excluded as producers because their backward passes
+*do* read their top data.
+
+Everything returned is certified downstream: ``python -m repro.analysis
+fusecheck`` replays the fused net against the unfused sequential
+baseline and demands bitwise equality.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.framework.net_spec import BlobLrSpec, LayerSpec, NetSpec
+
+PHASES = ("TRAIN", "TEST")
+
+# Elementwise layers eligible for the in-place rewrite.  Slope-0 ReLU's
+# backward mask is identical either way; Dropout's backward reads only
+# its private mask.
+_INPLACE_CANDIDATES = {"relu", "dropout"}
+
+# Producers whose top may be overwritten by an in-place consumer: their
+# backward pass never reads its own top *data*.  Deliberately absent:
+# lrn / sigmoid / tanh / exp / bnll / softmax / power / log / absval
+# (top-reading backwards) and every fused type (the fused ReLU mask
+# reads the fused top).
+_INPLACE_PRODUCERS = {
+    "convolution", "innerproduct", "pooling", "eltwise", "bias", "scale",
+    "concat", "flatten", "split", "data", "input", "memorydata",
+    "dropout", "relu",
+}
+
+
+class FusionError(RuntimeError):
+    """The fusion pass produced an inconsistent spec (internal error)."""
+
+
+@dataclass
+class FusionDecision:
+    """One chain collapsed into a fused layer."""
+
+    primary: str
+    fused_type: str
+    absorbed: List[str]
+    phase: Optional[str] = None
+
+
+@dataclass
+class InplaceRewrite:
+    """One elementwise layer retargeted onto its bottom blob."""
+
+    layer: str
+    old_top: str
+    new_top: str
+
+
+@dataclass
+class FusionReport:
+    """What :func:`fuse_spec` did, for humans and for JSON."""
+
+    net: str = ""
+    fused: List[FusionDecision] = field(default_factory=list)
+    rewrites: List[InplaceRewrite] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "format": "repro-fuse-report/1",
+            "net": self.net,
+            "fused": [dataclasses.asdict(d) for d in self.fused],
+            "rewrites": [dataclasses.asdict(r) for r in self.rewrites],
+            "notes": list(self.notes),
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"fuse[{self.net or 'net'}]: {len(self.fused)} chain(s) fused, "
+            f"{len(self.rewrites)} in-place rewrite(s)"
+        ]
+        for d in self.fused:
+            lines.append(
+                f"  {d.primary} <- {' + '.join(d.absorbed)} ({d.fused_type})"
+            )
+        for r in self.rewrites:
+            lines.append(
+                f"  in-place: {r.layer} now writes {r.new_top} "
+                f"(was {r.old_top})"
+            )
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# chain detection
+# ---------------------------------------------------------------------------
+def _is_plain_relu(spec: LayerSpec) -> bool:
+    return (
+        spec.type.lower() == "relu"
+        and not spec.param("negative_slope", 0)
+    )
+
+
+def _middle_ok(spec: LayerSpec) -> bool:
+    kind = spec.type.lower()
+    if kind not in ("bias", "scale"):
+        return False
+    if int(spec.param("axis", 1)) != 1:
+        return False
+    if kind == "scale" and spec.tops and spec.bottoms \
+            and spec.tops[0] == spec.bottoms[0]:
+        # In-place Scale: its coefficient gradient would have read the
+        # *post*-scale values; the fused stash holds pre-scale ones.
+        return False
+    return True
+
+
+def _single_consumer(layers: Sequence[LayerSpec], i: int) -> Optional[int]:
+    """Index of the sole consumer of ``layers[i]``'s one top, if that
+    consumer is a one-bottom/one-top layer; else ``None``."""
+    spec = layers[i]
+    if len(spec.tops) != 1:
+        return None
+    name = spec.tops[0]
+    consumers = []
+    for j in range(i + 1, len(layers)):
+        if name in layers[j].bottoms:
+            consumers.append(j)
+        if name in layers[j].tops:
+            break  # the blob is re-produced; later readers see that one
+    if len(consumers) != 1:
+        return None
+    j = consumers[0]
+    if len(layers[j].bottoms) != 1 or len(layers[j].tops) != 1:
+        return None
+    return j
+
+
+def _absorbable(member: LayerSpec, primary: LayerSpec) -> bool:
+    return member.phase == primary.phase and not member.loss_weight
+
+
+def _chain_at(
+    layers: Sequence[LayerSpec], i: int
+) -> Optional[Tuple[str, Optional[LayerSpec], Optional[LayerSpec]]]:
+    """Detect a chain with primary ``layers[i]``.
+
+    Returns ``(fused_type, middle, relu)`` or ``None``.
+    """
+    primary = layers[i]
+    kind = primary.type.lower()
+    if primary.loss_weight:
+        return None
+
+    if kind == "convolution":
+        j = _single_consumer(layers, i)
+        if j is None:
+            return None
+        middle = None
+        if layers[j].type.lower() in ("bias", "scale"):
+            if not _middle_ok(layers[j]) or not _absorbable(layers[j], primary):
+                return None
+            middle = layers[j]
+            j = _single_consumer(layers, j)
+            if j is None:
+                return None
+        tail = layers[j]
+        if not _is_plain_relu(tail) or not _absorbable(tail, primary):
+            return None
+        return ("FusedConv", middle, tail)
+
+    if kind in ("innerproduct", "eltwise"):
+        j = _single_consumer(layers, i)
+        if j is None:
+            return None
+        tail = layers[j]
+        if not _is_plain_relu(tail) or not _absorbable(tail, primary):
+            return None
+        fused = ("FusedInnerProductReLU" if kind == "innerproduct"
+                 else "FusedEltwiseReLU")
+        return (fused, None, tail)
+
+    if kind == "scale":
+        if primary.tops and primary.bottoms \
+                and primary.tops[0] == primary.bottoms[0]:
+            return None  # in-place primary: pre-scale values unavailable
+        j = _single_consumer(layers, i)
+        if j is None:
+            return None
+        middle = layers[j]
+        if middle.type.lower() != "bias" or not _middle_ok(middle) \
+                or not _absorbable(middle, primary):
+            return None
+        return ("FusedScaleBias", middle, None)
+
+    return None
+
+
+def _static_param_count(spec: LayerSpec) -> int:
+    kind = spec.type.lower()
+    if kind == "convolution":
+        return 2 if spec.param("bias_term", True) else 1
+    if kind == "scale":
+        return 2 if spec.param("bias_term", False) else 1
+    return 0
+
+
+def _build_fused(
+    primary: LayerSpec,
+    fused_type: str,
+    middle: Optional[LayerSpec],
+    relu: Optional[LayerSpec],
+) -> LayerSpec:
+    last = relu if relu is not None else middle
+    absorbed = [m.name for m in (middle, relu) if m is not None]
+    params = copy.deepcopy(primary.params)
+    params["fused"] = absorbed
+    if relu is not None:
+        params["fused_relu"] = True
+    if middle is not None:
+        params["fused_middle"] = {
+            "name": middle.name,
+            "type": middle.type,
+            "params": copy.deepcopy(middle.params),
+        }
+    param_specs = list(primary.param_specs)
+    if middle is not None:
+        primary_blobs = _static_param_count(primary)
+        while len(param_specs) < primary_blobs:
+            param_specs.append(BlobLrSpec())
+        param_specs.extend(middle.param_specs)
+    return LayerSpec(
+        name=primary.name,
+        type=fused_type,
+        bottoms=list(primary.bottoms),
+        tops=list(last.tops),
+        params=params,
+        phase=primary.phase,
+        param_specs=param_specs,
+        loss_weight=primary.loss_weight,
+    )
+
+
+# ---------------------------------------------------------------------------
+# in-place rewriting
+# ---------------------------------------------------------------------------
+def _find_one_inplace(spec: NetSpec):
+    """First legal in-place rewrite, as ``(candidate, bottom, old_top,
+    rename_ids)``; ``None`` when the spec is fully rewritten."""
+    produced = {}
+    for layer in spec.layers:
+        for name in layer.tops:
+            produced[name] = produced.get(name, 0) + 1
+
+    for cand in spec.layers:
+        kind = cand.type.lower()
+        if kind not in _INPLACE_CANDIDATES:
+            continue
+        if kind == "relu" and cand.param("negative_slope", 0):
+            continue
+        if len(cand.bottoms) != 1 or len(cand.tops) != 1:
+            continue
+        bottom, old_top = cand.bottoms[0], cand.tops[0]
+        if bottom == old_top or cand.loss_weight:
+            continue
+        if produced.get(old_top, 0) != 1:
+            continue
+
+        legal = True
+        present = False
+        rename_ids = set()
+        for phase in PHASES:
+            phase_layers = spec.layers_for_phase(phase)
+            ci = next(
+                (k for k, x in enumerate(phase_layers) if x is cand), None)
+            if ci is None:
+                continue
+            present = True
+
+            # Producer of the bottom blob must tolerate its top being
+            # overwritten after the forward pass.
+            prod_idx = next(
+                (k for k in range(ci - 1, -1, -1)
+                 if bottom in phase_layers[k].tops),
+                None,
+            )
+            if prod_idx is None:
+                if bottom not in spec.inputs:
+                    legal = False
+                    break
+            elif phase_layers[prod_idx].type.lower() not in _INPLACE_PRODUCERS:
+                legal = False
+                break
+
+            # That production must feed the candidate and nothing else,
+            # and the bottom must never be re-produced afterwards.
+            consumers = []
+            start = 0 if prod_idx is None else prod_idx + 1
+            for j in range(start, len(phase_layers)):
+                if bottom in phase_layers[j].bottoms:
+                    consumers.append(phase_layers[j])
+                if bottom in phase_layers[j].tops:
+                    legal = False
+                    break
+            if not legal or consumers != [cand]:
+                legal = False
+                break
+
+            for j in range(ci + 1, len(phase_layers)):
+                if old_top in phase_layers[j].tops:
+                    legal = False
+                    break
+                if old_top in phase_layers[j].bottoms:
+                    rename_ids.add(id(phase_layers[j]))
+            if not legal:
+                break
+
+        if legal and present:
+            return cand, bottom, old_top, rename_ids
+    return None
+
+
+def rewrite_inplace(spec: NetSpec) -> Tuple[NetSpec, List[InplaceRewrite]]:
+    """Retarget legal elementwise layers onto their bottom blobs.
+
+    Returns a new spec (untouched layers are shared, modified ones are
+    shallow copies) plus the list of rewrites applied.  Bitwise-neutral
+    by construction — only blob *names* move; every value computed is
+    identical.
+    """
+    rewrites: List[InplaceRewrite] = []
+    while True:
+        found = _find_one_inplace(spec)
+        if found is None:
+            break
+        cand, bottom, old_top, rename_ids = found
+        new_layers = []
+        for layer in spec.layers:
+            if layer is cand:
+                new_layers.append(
+                    dataclasses.replace(layer, bottoms=[bottom],
+                                        tops=[bottom]))
+            elif id(layer) in rename_ids:
+                new_layers.append(dataclasses.replace(
+                    layer,
+                    bottoms=[bottom if b == old_top else b
+                             for b in layer.bottoms],
+                ))
+            else:
+                new_layers.append(layer)
+        spec = NetSpec(
+            name=spec.name,
+            layers=new_layers,
+            inputs=list(spec.inputs),
+            input_shapes=list(spec.input_shapes),
+        )
+        rewrites.append(
+            InplaceRewrite(layer=cand.name, old_top=old_top, new_top=bottom))
+    return spec, rewrites
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+def fuse_spec(
+    spec: NetSpec, phase: str = "TRAIN", inplace: bool = True
+) -> Tuple[NetSpec, FusionReport]:
+    """Fuse elementwise chains in ``spec`` and (optionally) rewrite
+    in-place opportunities; returns ``(fused_spec, report)``.
+
+    The input spec is never mutated.  ``phase`` is advisory (reports
+    only) — chains are required to be consistent across *all* phases,
+    so the transformed spec is valid for both.
+    """
+    per_phase = {}
+    for ph in PHASES:
+        phase_layers = spec.layers_for_phase(ph)
+        chains = {}
+        for i in range(len(phase_layers)):
+            chain = _chain_at(phase_layers, i)
+            if chain is not None:
+                fused_type, middle, relu = chain
+                chains[id(phase_layers[i])] = (
+                    fused_type,
+                    None if middle is None else id(middle),
+                    None if relu is None else id(relu),
+                    middle,
+                    relu,
+                )
+        per_phase[ph] = (phase_layers, chains)
+
+    # A chain survives only if every phase containing its primary
+    # detects the identical one.
+    accepted = []  # (primary, fused_type, middle, relu)
+    seen = set()
+    for ph in PHASES:
+        phase_layers, chains = per_phase[ph]
+        for layer in phase_layers:
+            key = id(layer)
+            if key in seen or key not in chains:
+                continue
+            seen.add(key)
+            fused_type, mid_id, relu_id, middle, relu = chains[key]
+            consistent = True
+            for other in PHASES:
+                other_layers, other_chains = per_phase[other]
+                if not any(x is layer for x in other_layers):
+                    continue
+                got = other_chains.get(key)
+                if got is None or got[:3] != (fused_type, mid_id, relu_id):
+                    consistent = False
+                    break
+            if consistent:
+                accepted.append((layer, fused_type, middle, relu))
+
+    report = FusionReport(net=spec.name)
+    absorbed_ids: set = set()
+    fused_by_primary = {}
+    for primary, fused_type, middle, relu in accepted:
+        if id(primary) in absorbed_ids:
+            continue
+        member_ids = {id(m) for m in (middle, relu) if m is not None}
+        if member_ids & absorbed_ids:
+            continue
+        fused_by_primary[id(primary)] = _build_fused(
+            primary, fused_type, middle, relu)
+        absorbed_ids |= member_ids
+        report.fused.append(FusionDecision(
+            primary=primary.name,
+            fused_type=fused_type,
+            absorbed=[m.name for m in (middle, relu) if m is not None],
+            phase=primary.phase,
+        ))
+
+    new_layers = []
+    for layer in spec.layers:
+        if id(layer) in absorbed_ids:
+            continue
+        new_layers.append(fused_by_primary.get(id(layer), layer))
+
+    out = NetSpec(
+        name=spec.name,
+        layers=new_layers,
+        inputs=list(spec.inputs),
+        input_shapes=list(spec.input_shapes),
+    )
+    if inplace:
+        out, rewrites = rewrite_inplace(out)
+        report.rewrites = rewrites
+    if not report.fused and not report.rewrites:
+        report.notes.append("no fusable chains or in-place opportunities")
+
+    try:
+        out.validate()
+    except Exception as exc:  # pragma: no cover - internal invariant
+        raise FusionError(
+            f"fusion produced an invalid spec for net {spec.name!r}: {exc}"
+        ) from exc
+    return out, report

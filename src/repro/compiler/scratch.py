@@ -1,0 +1,117 @@
+"""Per-thread scratch-buffer pool for chunk-local work arrays.
+
+Layers that need a temporary array inside ``forward_chunk`` /
+``backward_chunk`` (the im2col column buffer is the big one) used to
+``np.empty`` it on every chunk call.  Under the coarse-grain executor
+that is one multi-megabyte allocation per chunk per iteration — pure
+allocator churn that never survives the call.  This module replaces it
+with a keyed pool:
+
+* **per-thread** — the pool lives in ``threading.local`` storage, so
+  two worker threads never hand out the same buffer and no locking sits
+  on the chunk hot path;
+* **keyed by (tag, shape, dtype)** — a layer asks for
+  ``scratch_buffer("conv.col", self._col_shape)`` and gets the same
+  array back on every subsequent call with that geometry.  Distinct
+  tags never alias, so a chunk may hold several live buffers at once
+  (``conv.col`` and ``conv.dcol`` in the conv backward pass);
+* **uninitialised** — buffers come from ``np.empty`` and are *not*
+  cleared between calls.  Callers must fully overwrite the region they
+  read (``im2col`` overwrites its whole output; ``col2im`` starts with
+  ``out.fill(0.0)``), which the pooled call sites already do.
+
+``pool_stats()`` aggregates hit/miss counters across every thread that
+ever touched the pool; the zero-allocation regression test resets the
+counters after warmup and asserts the steady state never misses.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+_Key = Tuple[str, Tuple[int, ...], str]
+
+
+class _PoolState:
+    """One thread's buffers plus its share of the global counters."""
+
+    __slots__ = ("buffers", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.buffers: Dict[_Key, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+
+_TLS = threading.local()
+_STATES: list = []          # every thread's _PoolState, for aggregation
+_STATES_LOCK = threading.Lock()
+
+
+def _state() -> _PoolState:
+    state = getattr(_TLS, "state", None)
+    if state is None:
+        state = _PoolState()
+        with _STATES_LOCK:
+            _STATES.append(state)
+        _TLS.state = state
+    return state
+
+
+def scratch_buffer(tag: str, shape: Sequence[int],
+                   dtype=np.float32) -> np.ndarray:
+    """Return this thread's pooled work array for ``(tag, shape, dtype)``.
+
+    The first request with a given key allocates; every later request
+    from the same thread returns the identical array object.  Contents
+    are unspecified on entry — callers overwrite before reading.
+    """
+    state = _state()
+    dt = np.dtype(dtype)
+    key = (tag, tuple(int(d) for d in shape), dt.str)
+    buf = state.buffers.get(key)
+    if buf is None:
+        buf = np.empty(key[1], dtype=dt)
+        state.buffers[key] = buf
+        state.misses += 1
+    else:
+        state.hits += 1
+    return buf
+
+
+def pool_stats() -> Dict[str, int]:
+    """Aggregate counters across every thread that used the pool."""
+    with _STATES_LOCK:
+        states = list(_STATES)
+    return {
+        "hits": sum(s.hits for s in states),
+        "misses": sum(s.misses for s in states),
+        "buffers": sum(len(s.buffers) for s in states),
+        "bytes": sum(b.nbytes for s in states for b in s.buffers.values()),
+    }
+
+
+def reset_pool_stats() -> None:
+    """Zero the hit/miss counters everywhere; keep the buffers warm."""
+    with _STATES_LOCK:
+        states = list(_STATES)
+    for state in states:
+        state.hits = 0
+        state.misses = 0
+
+
+def clear_pool() -> None:
+    """Drop every cached buffer (and the counters) in every thread.
+
+    Buffers handed out earlier stay valid — the pool merely forgets
+    them, so the next request reallocates.  Test isolation helper.
+    """
+    with _STATES_LOCK:
+        states = list(_STATES)
+    for state in states:
+        state.buffers.clear()
+        state.hits = 0
+        state.misses = 0

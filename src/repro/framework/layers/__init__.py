@@ -15,6 +15,12 @@ from repro.framework.layers.data import DataLayer, InputLayer, MemoryDataLayer
 from repro.framework.layers.dropout import DropoutLayer
 from repro.framework.layers.eltwise import EltwiseLayer
 from repro.framework.layers.flatten import FlattenLayer
+from repro.framework.layers.fused import (
+    FusedConvolutionLayer,
+    FusedEltwiseReLU,
+    FusedInnerProductReLU,
+    FusedScaleBias,
+)
 from repro.framework.layers.inner_product import InnerProductLayer
 from repro.framework.layers.loss import EuclideanLossLayer, SoftmaxWithLossLayer
 from repro.framework.layers.lrn import LRNLayer
@@ -48,6 +54,10 @@ __all__ = [
     "EltwiseLayer",
     "EuclideanLossLayer",
     "FlattenLayer",
+    "FusedConvolutionLayer",
+    "FusedEltwiseReLU",
+    "FusedInnerProductReLU",
+    "FusedScaleBias",
     "InnerProductLayer",
     "InputLayer",
     "LRNLayer",

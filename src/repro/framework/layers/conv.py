@@ -4,8 +4,9 @@ The coarse-grain iteration space is the batch dimension ``S``: one
 iteration unfolds one image into a column matrix and multiplies it against
 the filter bank — the exact per-sample work unit the paper assigns to a
 thread chunk for the conv1/conv2/conv3 layers.  The column scratch buffer
-is allocated per chunk call, so concurrent chunks never share scratch
-(the "object privatization" of Algorithm 4, line 2).
+comes from the per-thread pool in :mod:`repro.compiler.scratch`, so
+concurrent chunks never share scratch (the "object privatization" of
+Algorithm 4, line 2) and the steady state allocates nothing per call.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import numpy as np
 
 from repro import blaslib
 from repro.blaslib.im2col import conv_out_size
+from repro.compiler.scratch import scratch_buffer
 from repro.framework.blob import DTYPE, Blob
 from repro.framework.fillers import FillerSpec, fill, stable_seed
 from repro.framework.layer import (
@@ -143,7 +145,7 @@ class ConvolutionLayer(Layer):
         x = bottom[0].data
         y = top[0].data
         weights = self.blobs[0].data.reshape(self.num_output, -1)
-        col = np.empty(self._col_shape, dtype=DTYPE)
+        col = scratch_buffer("conv.col", self._col_shape, DTYPE)
         cg = self.channels // self.group
         og = self.num_output // self.group
         for s in range(lo, hi):
@@ -182,8 +184,8 @@ class ConvolutionLayer(Layer):
         dweights = param_grads[0].reshape(self.num_output, -1)
         dbias = param_grads[1] if self.bias_term else None
 
-        col = np.empty(self._col_shape, dtype=DTYPE)
-        dcol = np.empty(self._col_shape, dtype=DTYPE)
+        col = scratch_buffer("conv.col", self._col_shape, DTYPE)
+        dcol = scratch_buffer("conv.dcol", self._col_shape, DTYPE)
         cg = self.channels // self.group
         og = self.num_output // self.group
         _, _, in_h, in_w = bottom[0].shape

@@ -30,11 +30,18 @@ from typing import List, Optional
 from repro.framework.layers.accuracy import AccuracyLayer
 from repro.framework.layers.conv import ConvolutionLayer, _pair
 from repro.framework.layers.data import DataLayer, InputLayer, MemoryDataLayer
+from repro.framework.layers.fused import (
+    FusedConvolutionLayer,
+    FusedEltwiseReLU,
+    FusedInnerProductReLU,
+    FusedScaleBias,
+)
 from repro.framework.layers.inner_product import InnerProductLayer
 from repro.framework.layers.loss import LossLayer
 from repro.framework.layers.lrn import LRNLayer
 from repro.framework.layers.neuron import NeuronLayer
 from repro.framework.layers.pooling import PoolingLayer
+from repro.framework.layers.scale import ScaleLayer
 from repro.framework.layers.softmax import SoftmaxLayer
 from repro.framework.net import Net
 from repro.framework.net_spec import NetSpec
@@ -228,6 +235,53 @@ def data_costs(name: str, *, out_count: int) -> List[LayerCost]:
     return [fwd]  # no backward
 
 
+def fuse_epilogue_costs(
+    costs: List[LayerCost],
+    *,
+    elems: int,
+    relu: bool = False,
+    middle: Optional[str] = None,
+    middle_params: int = 0,
+    stash: bool = False,
+) -> List[LayerCost]:
+    """Fold a fused chain's epilogue into its primary's cost pair.
+
+    The whole point of fusion is that the absorbed Bias/Scale/ReLU no
+    longer re-stream the intermediate blob: the epilogue works on the
+    output while it is hot.  So the forward pass gains only the
+    epilogue *arithmetic* plus genuinely new traffic (the middle's
+    coefficients; the pre-scale stash) — **not** the ``2 * elems *
+    BYTES`` read/write the standalone layer would have cost.  The
+    backward entries account the mask and channel reductions the fused
+    ``backward_loops`` actually run.
+    """
+    fwd = next((c for c in costs if c.pass_ == "forward"), None)
+    bwd = next((c for c in costs if c.pass_ == "backward"), None)
+    if fwd is not None:
+        if middle:
+            fwd.flops += float(elems)
+        if relu:
+            fwd.flops += float(elems)
+        fwd.bytes += middle_params * BYTES
+        if stash:
+            fwd.bytes += elems * BYTES
+    if bwd is not None:
+        if relu:
+            # dy *= (y > 0): read dy + y, write dy.
+            bwd.flops += float(elems)
+            bwd.bytes += 3 * elems * BYTES
+        if middle == "bias":
+            # channel sums over dy.
+            bwd.flops += float(elems)
+            bwd.bytes += elems * BYTES
+        elif middle == "scale":
+            # dgamma/dbeta sums (2e) + in-place rescale (e); dy is read
+            # twice, the stash once, dy written once.
+            bwd.flops += 3.0 * elems
+            bwd.bytes += 4 * elems * BYTES + 2 * middle_params * BYTES
+    return costs
+
+
 def structural_costs(
     name: str, type_name: str, *, elems: int,
 ) -> List[LayerCost]:
@@ -265,6 +319,30 @@ def net_costs(net: Net, include_accuracy: bool = False) -> List[LayerCost]:
             out.extend(data_costs(
                 layer.name, out_count=sum(t.count for t in top),
             ))
+        elif isinstance(layer, FusedConvolutionLayer):
+            # Must precede the ConvolutionLayer branch (subclass).  The
+            # privatized reduction covers only the primary's params; the
+            # middle's coefficients reduce over channels, not samples.
+            n, c, h, w = bottom[0].shape
+            _, k, oh, ow = top[0].shape
+            primary = layer._num_primary_blobs
+            costs = conv_costs(
+                layer.name, n=n, c=c, h=h, w=w, k=k, oh=oh, ow=ow,
+                kernel=layer.kernel_h * layer.kernel_w, group=layer.group,
+                weight_count=layer.blobs[0].count,
+                param_count=sum(b.count for b in layer.blobs[:primary]),
+            )
+            middle = None
+            if isinstance(layer._middle, ScaleLayer):
+                middle = "scale"
+            elif layer._middle is not None:
+                middle = "bias"
+            out.extend(fuse_epilogue_costs(
+                costs, elems=top[0].count, relu=layer._fused_relu,
+                middle=middle,
+                middle_params=sum(b.count for b in layer.blobs[primary:]),
+                stash=layer._prescale is not None,
+            ))
         elif isinstance(layer, ConvolutionLayer):
             n, c, h, w = bottom[0].shape
             _, k, oh, ow = top[0].shape
@@ -280,6 +358,15 @@ def net_costs(net: Net, include_accuracy: bool = False) -> List[LayerCost]:
             out.extend(pool_costs(
                 layer.name, n=n, c=c, h=h, w=w, oh=oh, ow=ow,
                 window=layer.kernel_h * layer.kernel_w, method=layer.method,
+            ))
+        elif isinstance(layer, FusedInnerProductReLU):
+            out.extend(fuse_epilogue_costs(
+                ip_costs(
+                    layer.name, outer=layer.outer, inner=layer.inner,
+                    num_output=layer.num_output,
+                    weight_count=layer.blobs[0].count,
+                ),
+                elems=top[0].count, relu=True,
             ))
         elif isinstance(layer, InnerProductLayer):
             out.extend(ip_costs(
@@ -309,6 +396,24 @@ def net_costs(net: Net, include_accuracy: bool = False) -> List[LayerCost]:
                     layer.name, layer.type, batch=batch,
                     classes=bottom[0].count // batch,
                 ))
+        elif isinstance(layer, FusedEltwiseReLU):
+            out.extend(fuse_epilogue_costs(
+                structural_costs(
+                    layer.name, layer.type,
+                    elems=sum(b.count for b in bottom),
+                ),
+                elems=top[0].count, relu=True,
+            ))
+        elif isinstance(layer, FusedScaleBias):
+            primary = layer._num_primary_blobs
+            out.extend(fuse_epilogue_costs(
+                structural_costs(
+                    layer.name, layer.type,
+                    elems=sum(b.count for b in bottom),
+                ),
+                elems=top[0].count, middle="bias",
+                middle_params=sum(b.count for b in layer.blobs[primary:]),
+            ))
         else:
             out.extend(structural_costs(
                 layer.name, layer.type,
@@ -344,17 +449,33 @@ def spec_costs(
                 layer_spec.name,
                 out_count=sum(t.count for t in result.tops),
             ))
-        elif type_name == "convolution":
+        elif type_name in ("convolution", "fusedconv"):
             n, c, h, w = bottoms[0].shape
             _, k, oh, ow = result.tops[0].shape
             kernel_h, kernel_w = _pair(layer_spec, "kernel")
-            out.extend(conv_costs(
+            n_primary = 1 + (1 if layer_spec.param("bias_term", True) else 0)
+            if type_name == "convolution":
+                n_primary = len(result.param_shapes)
+            primary_count = sum(
+                _shape_count(s) for s in result.param_shapes[:n_primary])
+            costs = conv_costs(
                 layer_spec.name, n=n, c=c, h=h, w=w, k=k, oh=oh, ow=ow,
                 kernel=kernel_h * kernel_w,
                 group=int(layer_spec.param("group", 1)),
                 weight_count=_shape_count(result.param_shapes[0]),
-                param_count=result.param_count,
-            ))
+                param_count=primary_count,
+            )
+            if type_name == "fusedconv":
+                raw = layer_spec.param("fused_middle")
+                middle = raw["type"].lower() if raw else None
+                fuse_epilogue_costs(
+                    costs, elems=result.tops[0].count,
+                    relu=bool(layer_spec.param("fused_relu", False)),
+                    middle=middle,
+                    middle_params=result.param_count - primary_count,
+                    stash=middle == "scale",
+                )
+            out.extend(costs)
         elif type_name == "pooling":
             n, c, h, w = bottoms[0].shape
             _, _, oh, ow = result.tops[0].shape
@@ -364,13 +485,17 @@ def spec_costs(
                 window=kernel_h * kernel_w,
                 method=str(layer_spec.param("pool", "MAX")).upper(),
             ))
-        elif type_name == "innerproduct":
+        elif type_name in ("innerproduct", "fusedinnerproductrelu"):
             num_output, inner = result.param_shapes[0]
-            out.extend(ip_costs(
+            costs = ip_costs(
                 layer_spec.name, outer=result.forward_space, inner=inner,
                 num_output=num_output,
                 weight_count=_shape_count(result.param_shapes[0]),
-            ))
+            )
+            if type_name == "fusedinnerproductrelu":
+                fuse_epilogue_costs(
+                    costs, elems=result.tops[0].count, relu=True)
+            out.extend(costs)
         elif type_name == "lrn":
             out.extend(lrn_costs(
                 layer_spec.name, n=bottoms[0].shape[0],
@@ -395,6 +520,26 @@ def spec_costs(
                     layer_spec.name, layer_spec.type, batch=batch_,
                     classes=bottoms[0].count // batch_,
                 ))
+        elif type_name == "fusedeltwiserelu":
+            out.extend(fuse_epilogue_costs(
+                structural_costs(
+                    layer_spec.name, layer_spec.type,
+                    elems=sum(b.count for b in bottoms),
+                ),
+                elems=result.tops[0].count, relu=True,
+            ))
+        elif type_name == "fusedscalebias":
+            n_primary = 1 + (1 if layer_spec.param("bias_term", False) else 0)
+            primary_count = sum(
+                _shape_count(s) for s in result.param_shapes[:n_primary])
+            out.extend(fuse_epilogue_costs(
+                structural_costs(
+                    layer_spec.name, layer_spec.type,
+                    elems=sum(b.count for b in bottoms),
+                ),
+                elems=result.tops[0].count, middle="bias",
+                middle_params=result.param_count - primary_count,
+            ))
         else:
             out.extend(structural_costs(
                 layer_spec.name, layer_spec.type,

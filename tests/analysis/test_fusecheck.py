@@ -1,0 +1,113 @@
+"""Tests for the graph-compiler certifier (fusecheck, FU codes)."""
+
+import json
+
+import pytest
+
+from repro.analysis.fusecheck import (
+    FusecheckReport,
+    certify_fuse,
+    check_fuse,
+)
+from repro.analysis.report import ERROR, INFO
+
+
+@pytest.fixture(autouse=True)
+def _sources():
+    from repro.data import register_default_sources
+
+    register_default_sources()
+
+
+def _zoo_spec(name):
+    from repro.zoo.build import _SPECS
+
+    return _SPECS[name][0]()
+
+
+class TestCheckFuse:
+    def test_lenet_passes_all_static_stages(self):
+        report = check_fuse(_zoo_spec("lenet"), net_name="lenet",
+                            threads=8, batch=4)
+        assert report.ok
+        assert len(report.fusion["fused"]) == 1
+        assert report.arena is not None
+        assert report.arena["arena_bytes"] < report.arena["baseline_bytes"]
+        assert not any(f.rule == "FU004" for f in report.findings)
+
+    def test_mlp_reports_nothing_to_fuse(self):
+        report = check_fuse(_zoo_spec("mlp"), net_name="mlp",
+                            threads=2, batch=4)
+        assert report.ok
+        assert any(f.rule == "FU005" and f.severity == INFO
+                   for f in report.findings)
+
+    def test_report_roundtrips_to_json(self):
+        report = check_fuse(_zoo_spec("mlp"), net_name="mlp",
+                            threads=1, batch=4)
+        doc = FusecheckReport(reports=[report]).to_json()
+        json.dumps(doc)  # must be serializable
+        assert doc["ok"] is True
+        assert doc["reports"][0]["net"] == "mlp"
+        assert doc["reports"][0]["arena"]["arena_bytes"] > 0
+
+    def test_summary_has_verdict_line(self):
+        doc = FusecheckReport(reports=[check_fuse(
+            _zoo_spec("mlp"), net_name="mlp", threads=1, batch=4)])
+        assert doc.summary_lines()[-1] == "verdict: OK"
+
+    def test_cost_parity_is_really_checked(self):
+        """spec_costs and net_costs must agree on the fused zoo nets."""
+        from repro.compiler.fuse import fuse_spec
+        from repro.framework.net import Net
+        from repro.simulator.cost_model import net_costs, spec_costs
+
+        for name in ("lenet", "cifar10"):
+            fused_spec, _ = fuse_spec(_zoo_spec(name))
+            net = Net(fused_spec, phase="TRAIN")
+            net.forward()
+            assert net_costs(net) == spec_costs(fused_spec, phase="TRAIN")
+
+
+class TestCertifyFuse:
+    @pytest.mark.parametrize("threads", [1, 2])
+    def test_lenet_certifies_bitwise(self, threads):
+        findings, plan = certify_fuse("lenet", threads=threads,
+                                      iters=2, batch=4)
+        assert plan is not None
+        rules = [f.rule for f in findings]
+        assert "FU202" in rules
+        assert not any(f.severity == ERROR for f in findings)
+
+    def test_unknown_net_raises(self):
+        with pytest.raises(KeyError):
+            certify_fuse("nope", threads=2)
+
+
+class TestCli:
+    def test_gate_passes_on_zoo_net(self, capsys):
+        from repro.analysis.__main__ import main
+
+        rc = main(["fusecheck", "--net", "mlp", "--threads", "1",
+                   "--batch", "4", "--gate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict: OK" in out
+
+    def test_json_output(self, capsys):
+        from repro.analysis.__main__ import main
+
+        rc = main(["fusecheck", "--net", "lenet", "--threads", "2",
+                   "--batch", "4", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["reports"][0]["fusion"]["fused"]
+
+    def test_codes_catalogue_names_fu_family(self):
+        from repro.analysis.codes import CODE_CATALOGUE
+
+        for code in ("FU001", "FU002", "FU003", "FU004", "FU005",
+                     "FU201", "FU202"):
+            assert code in CODE_CATALOGUE
+            assert CODE_CATALOGUE[code][0] == "fusecheck"

@@ -1,0 +1,129 @@
+"""Tests for the static memory arena: layout invariants and bitwise
+transparency of the rebind."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.arena import (
+    ArenaReport,
+    BlobPlacement,
+    _first_fit,
+    apply_arena,
+    plan_arena,
+)
+from repro.compiler.fuse import fuse_spec
+from repro.framework.net import Net
+
+
+@pytest.fixture(autouse=True)
+def _sources():
+    from repro.data import register_default_sources
+
+    register_default_sources()
+
+
+def _zoo_net(name, fused=False, batch=4):
+    from repro.zoo.build import _SPECS
+
+    spec = _SPECS[name][0]()
+    for layer_spec in spec.layers:
+        if "batch_size" in layer_spec.params:
+            layer_spec.params["batch_size"] = batch
+    if fused:
+        spec = fuse_spec(spec)[0]
+    return Net(spec, phase="TRAIN")
+
+
+def _run_iters(net, iters=2):
+    loss = 0.0
+    for _ in range(iters):
+        net.clear_param_diffs()
+        loss = net.forward()
+        net.backward()
+    state = [np.float64(loss)]
+    for layer in net.layers:
+        for blob in layer.blobs:
+            state.append(blob.flat_data.copy())
+            state.append(blob.flat_diff.copy())
+    return state
+
+
+class TestLayout:
+    @pytest.mark.parametrize("name", ["lenet", "cifar10", "mlp"])
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_no_overlap_violations(self, name, fused):
+        report = plan_arena(_zoo_net(name, fused=fused))
+        assert report.overlap_violations() == []
+
+    @pytest.mark.parametrize("name", ["lenet", "cifar10", "mlp"])
+    def test_arena_shrinks_activation_memory(self, name):
+        report = plan_arena(_zoo_net(name, fused=True))
+        assert report.arena_bytes < report.baseline_bytes
+        assert report.saved_bytes > 0
+
+    def test_first_fit_property(self):
+        """Randomized packing never aliases two live-overlapping blobs."""
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            placed = []
+            for i in range(rng.integers(2, 20)):
+                first = int(rng.integers(0, 10))
+                last = first + int(rng.integers(0, 10))
+                cap = int(rng.integers(1, 500))
+                offset = _first_fit(placed, cap, first, last)
+                placed.append(BlobPlacement(
+                    name=f"b{i}", count=cap, capacity=cap,
+                    first=first, last=last,
+                    data_offset=sum(p.capacity for p in placed),
+                    diff_offset=offset,
+                ))
+            report = ArenaReport(placements=placed)
+            assert report.overlap_violations() == []
+
+    def test_disjoint_intervals_actually_share_diff_storage(self):
+        """The packing must reuse storage, not just avoid conflicts."""
+        placed = []
+        for i, (first, last) in enumerate([(0, 1), (2, 3), (4, 5)]):
+            offset = _first_fit(placed, 100, first, last)
+            placed.append(BlobPlacement(
+                name=f"b{i}", count=100, capacity=100, first=first,
+                last=last, data_offset=i * 100, diff_offset=offset))
+        assert [p.diff_offset for p in placed] == [0, 0, 0]
+
+
+class TestApply:
+    def test_apply_is_bitwise_transparent(self):
+        plain = _run_iters(_zoo_net("lenet", fused=True))
+        arena_net = _zoo_net("lenet", fused=True)
+        apply_arena(arena_net)
+        packed = _run_iters(arena_net)
+        assert len(plain) == len(packed)
+        for a, b in zip(plain, packed):
+            assert np.array_equal(a, b)
+
+    def test_apply_preserves_warm_state(self):
+        net = _zoo_net("lenet", fused=True)
+        net.forward()
+        before = {name: blob.data.copy()
+                  for name, blob in net.blob_map.items()}
+        apply_arena(net)
+        for name, blob in net.blob_map.items():
+            assert np.array_equal(blob.data, before[name]), name
+
+    def test_apply_is_idempotent(self):
+        net = _zoo_net("mlp")
+        first = apply_arena(net)
+        second = apply_arena(net)
+        assert first is second
+
+    def test_blobs_really_live_in_the_slabs(self):
+        net = _zoo_net("mlp")
+        report = apply_arena(net)
+        data_slab, diff_slab = net._arena_slabs
+        placed = {p.name for p in report.placements}
+        seen = set()
+        for blob in net.blob_map.values():
+            if blob.name in placed and id(blob) not in seen:
+                seen.add(id(blob))
+                assert np.shares_memory(blob._flat_data, data_slab)
+                assert np.shares_memory(blob._flat_diff, diff_slab)

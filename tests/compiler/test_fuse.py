@@ -1,0 +1,201 @@
+"""Tests for the fusion pass and the in-place rewriter."""
+
+import pytest
+
+from repro.compiler.fuse import fuse_spec, rewrite_inplace
+from repro.framework.net_spec import LayerSpec, NetSpec
+from repro.framework.symbolic import infer_net
+
+
+def _layer(name, type_, bottoms, tops, **params):
+    return LayerSpec(name=name, type=type_, bottoms=list(bottoms),
+                     tops=list(tops), params=params)
+
+
+def _conv_relu_spec(inplace_relu=False):
+    relu_top = "conv1" if inplace_relu else "act1"
+    return NetSpec(
+        name="toy",
+        inputs=["x"],
+        input_shapes=[[2, 3, 8, 8]],
+        layers=[
+            _layer("conv1", "Convolution", ["x"], ["conv1"],
+                   num_output=4, kernel_size=3, filler_seed=7),
+            _layer("relu1", "ReLU", ["conv1"], [relu_top]),
+            _layer("ip1", "InnerProduct", [relu_top], ["ip1"],
+                   num_output=5, filler_seed=8),
+        ],
+    )
+
+
+class TestZooDecisions:
+    def test_lenet_fuses_ip_relu(self):
+        from repro.zoo.build import _SPECS
+
+        fused, report = fuse_spec(_SPECS["lenet"][0]())
+        decisions = {d.primary: d.fused_type for d in report.fused}
+        assert decisions == {"ip1": "FusedInnerProductReLU"}
+        assert fused.layer("ip1").type == "FusedInnerProductReLU"
+        assert "relu1" not in [l.name for l in fused.layers]
+
+    def test_cifar10_fuses_both_relu_convs(self):
+        from repro.zoo.build import _SPECS
+
+        _, report = fuse_spec(_SPECS["cifar10"][0]())
+        decisions = {d.primary: d.fused_type for d in report.fused}
+        assert decisions == {"conv2": "FusedConv", "conv3": "FusedConv"}
+
+    def test_mlp_has_nothing_to_fuse(self):
+        from repro.zoo.build import _SPECS
+
+        fused, report = fuse_spec(_SPECS["mlp"][0]())
+        assert not report.fused
+        assert not report.rewrites
+        base = _SPECS["mlp"][0]()
+        assert [l.name for l in fused.layers] == [
+            l.name for l in base.layers]
+
+
+class TestChains:
+    def test_conv_relu_collapses(self):
+        fused, report = fuse_spec(_conv_relu_spec(inplace_relu=True))
+        assert [d.primary for d in report.fused] == ["conv1"]
+        assert report.fused[0].absorbed == ["relu1"]
+        conv = fused.layer("conv1")
+        assert conv.type == "FusedConv"
+        assert conv.param("fused_relu") is True
+        assert conv.param("fused_middle") is None
+        # downstream consumer now reads the fused layer's top
+        assert fused.layer("ip1").bottoms == ["conv1"]
+
+    def test_conv_bias_relu_absorbs_the_middle(self):
+        spec = NetSpec(
+            name="toy",
+            inputs=["x"],
+            input_shapes=[[2, 3, 8, 8]],
+            layers=[
+                _layer("conv1", "Convolution", ["x"], ["conv1"],
+                       num_output=4, kernel_size=3, filler_seed=7,
+                       bias_term=False),
+                _layer("bias1", "Bias", ["conv1"], ["conv1"],
+                       filler_seed=9),
+                _layer("relu1", "ReLU", ["conv1"], ["conv1"]),
+            ],
+        )
+        fused, report = fuse_spec(spec)
+        assert report.fused[0].absorbed == ["bias1", "relu1"]
+        conv = fused.layer("conv1")
+        assert conv.param("fused_middle")["type"] == "Bias"
+        assert len(fused.layers) == 1
+
+    def test_eltwise_relu(self):
+        spec = NetSpec(
+            name="toy",
+            inputs=["a", "b"],
+            input_shapes=[[2, 4], [2, 4]],
+            layers=[
+                _layer("sum", "Eltwise", ["a", "b"], ["sum"]),
+                _layer("relu", "ReLU", ["sum"], ["sum"]),
+            ],
+        )
+        fused, report = fuse_spec(spec)
+        assert fused.layer("sum").type == "FusedEltwiseReLU"
+
+    def test_scale_bias(self):
+        spec = NetSpec(
+            name="toy",
+            inputs=["x"],
+            input_shapes=[[2, 3, 4, 4]],
+            layers=[
+                _layer("sc", "Scale", ["x"], ["sc"], filler_seed=4),
+                _layer("bi", "Bias", ["sc"], ["sc"], filler_seed=5),
+            ],
+        )
+        fused, report = fuse_spec(spec)
+        assert fused.layer("sc").type == "FusedScaleBias"
+        assert report.fused[0].absorbed == ["bi"]
+
+    def test_multi_consumer_top_blocks_fusion(self):
+        spec = NetSpec(
+            name="toy",
+            inputs=["x"],
+            input_shapes=[[2, 3, 8, 8]],
+            layers=[
+                _layer("conv1", "Convolution", ["x"], ["conv1"],
+                       num_output=4, kernel_size=3, filler_seed=7),
+                _layer("relu1", "ReLU", ["conv1"], ["act1"]),
+                # second consumer of conv1 keeps the chain unfusable
+                _layer("pool1", "Pooling", ["conv1"], ["pool1"],
+                       kernel_size=2, stride=2),
+            ],
+        )
+        _, report = fuse_spec(spec)
+        assert not report.fused
+
+    def test_leaky_relu_blocks_fusion(self):
+        spec = _conv_relu_spec(inplace_relu=True)
+        spec.layer("relu1").params["negative_slope"] = 0.1
+        _, report = fuse_spec(spec)
+        assert not report.fused
+
+
+class TestShapeParity:
+    def test_fused_zoo_specs_keep_surviving_shapes(self):
+        from repro.data import register_default_sources
+        from repro.zoo.build import _SPECS
+
+        register_default_sources()
+
+        for name in ("lenet", "cifar10", "mlp"):
+            base = _SPECS[name][0]()
+            fused, _ = fuse_spec(base)
+            base_shapes = {
+                b: tuple(info.shape) for b, info in
+                infer_net(base, phase="TRAIN").blob_map.items()}
+            fused_shapes = {
+                b: tuple(info.shape) for b, info in
+                infer_net(fused, phase="TRAIN").blob_map.items()}
+            for blob, shape in fused_shapes.items():
+                assert base_shapes.get(blob, shape) == shape, (
+                    f"{name}: blob {blob!r} changed shape under fusion")
+
+
+class TestInplaceRewrite:
+    def test_out_of_place_relu_is_rewritten(self):
+        spec = _conv_relu_spec(inplace_relu=False)
+        rewritten, rewrites = rewrite_inplace(spec)
+        assert [(r.layer, r.old_top, r.new_top) for r in rewrites] == [
+            ("relu1", "act1", "conv1")]
+        relu = rewritten.layer("relu1")
+        assert relu.bottoms == ["conv1"]
+        assert relu.tops == ["conv1"]
+        assert rewritten.layer("ip1").bottoms == ["conv1"]
+
+    def test_second_consumer_of_bottom_blocks_rewrite(self):
+        spec = _conv_relu_spec(inplace_relu=False)
+        spec.layers.append(_layer(
+            "pool1", "Pooling", ["conv1"], ["pool1"],
+            kernel_size=2, stride=2))
+        _, rewrites = rewrite_inplace(spec)
+        assert not rewrites
+
+    def test_fuse_spec_applies_rewrites_to_synthetic_net(self):
+        fused, report = fuse_spec(_conv_relu_spec(inplace_relu=False))
+        # the relu is absorbed by fusion first; nothing left to rewrite
+        assert [d.primary for d in report.fused] == ["conv1"]
+        infer_net(fused, phase="TRAIN", strict=True)  # must stay valid
+
+    def test_rewritten_spec_builds_and_runs(self):
+        from repro.framework.net import Net
+
+        rewritten, rewrites = rewrite_inplace(
+            _conv_relu_spec(inplace_relu=False))
+        assert rewrites
+        net = Net(rewritten, phase="TRAIN")
+        import numpy as np
+
+        net.blob_map["x"].set_data(
+            np.random.default_rng(3).standard_normal(
+                net.blob_map["x"].count).astype("float32"))
+        net.forward()
+        assert np.all(net.blob_map["conv1"].data >= 0.0)

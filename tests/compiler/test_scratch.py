@@ -1,0 +1,103 @@
+"""Tests for the per-thread scratch pool and the conv zero-alloc fix."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.compiler.scratch import (
+    clear_pool,
+    pool_stats,
+    reset_pool_stats,
+    scratch_buffer,
+)
+from repro.framework.blob import Blob
+from repro.framework.layer import create_layer
+from repro.testing import make_blob, spec
+
+
+@pytest.fixture(autouse=True)
+def _isolated_pool():
+    clear_pool()
+    yield
+    clear_pool()
+
+
+class TestPool:
+    def test_same_key_same_array(self):
+        a = scratch_buffer("t", (4, 5))
+        b = scratch_buffer("t", (4, 5))
+        assert a is b
+
+    def test_distinct_tags_never_alias(self):
+        a = scratch_buffer("a", (8,))
+        b = scratch_buffer("b", (8,))
+        assert a is not b
+        assert not np.shares_memory(a, b)
+
+    def test_shape_change_is_a_new_buffer(self):
+        a = scratch_buffer("t", (4,))
+        b = scratch_buffer("t", (5,))
+        assert a is not b
+
+    def test_stats_count_hits_and_misses(self):
+        scratch_buffer("t", (4,))
+        scratch_buffer("t", (4,))
+        scratch_buffer("u", (4,))
+        stats = pool_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 1
+        assert stats["buffers"] == 2
+
+    def test_reset_keeps_buffers_warm(self):
+        a = scratch_buffer("t", (4,))
+        reset_pool_stats()
+        b = scratch_buffer("t", (4,))
+        assert a is b
+        assert pool_stats() == {
+            "hits": 1, "misses": 0, "buffers": 1, "bytes": a.nbytes}
+
+    def test_threads_get_private_buffers(self):
+        mine = scratch_buffer("t", (16,))
+        theirs = {}
+
+        def worker():
+            theirs["buf"] = scratch_buffer("t", (16,))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert theirs["buf"] is not mine
+        assert not np.shares_memory(theirs["buf"], mine)
+
+
+class TestConvZeroAlloc:
+    """The im2col scratch must never hit the allocator in steady state."""
+
+    def _conv(self):
+        return create_layer(spec(
+            "conv", "Convolution", num_output=3, kernel_size=3,
+            filler_seed=11, weight_filler={"type": "gaussian", "std": 0.5},
+            bias_filler={"type": "constant", "value": 0.1},
+        ))
+
+    def test_forward_backward_steady_state_never_allocates(self, rng):
+        layer = self._conv()
+        bottom = [make_blob((2, 3, 8, 8), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+
+        def one_iter():
+            layer.forward(bottom, top)
+            top[0].flat_diff[:] = 1.0
+            top[0].mark_host_diff_dirty()
+            layer.backward(top, [True], bottom)
+
+        one_iter()  # warmup populates the pool
+        reset_pool_stats()
+        for _ in range(5):
+            one_iter()
+        stats = pool_stats()
+        assert stats["misses"] == 0, (
+            f"conv scratch hit the allocator in steady state: {stats}")
+        assert stats["hits"] > 0

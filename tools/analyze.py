@@ -18,9 +18,13 @@ nondeterminism lint (DC001-DC007), configuration invariance-tier rules
 invariance (DC201-DC203).  The ``rescheck`` subcommand runs the
 resilience certifier: static state-safety lint (RS001-RS004), bitwise
 checkpoint/resume certification (RS101-RS102), and fault-injection
-recovery certification (RS201-RS204).  ``--list-codes`` prints the
-full FP/RT/NG/DC/RS catalogue.  Equivalent to ``PYTHONPATH=src python
--m repro.analysis``.
+recovery certification (RS201-RS204).  The ``plancheck`` subcommand
+runs the auto-parallelization planner (PL001-PL006 lint, PL201/PL202
+replay certification).  The ``fusecheck`` subcommand runs the graph
+compiler's certifier: fusion + arena transform checks (FU001-FU005)
+and fused-vs-unfused bitwise replay certification (FU201/FU202).
+``--list-codes`` prints the full FP/RT/NG/DC/RS/PL/FU catalogue.
+Equivalent to ``PYTHONPATH=src python -m repro.analysis``.
 """
 
 import os
