@@ -86,8 +86,30 @@ codes), arena aliasing audit (FU003), spec/net cost-model parity
 fused+arena net under the planner's plan at each team size, requiring
 bitwise identity with the unfused sequential baseline (FU201/FU202).
 
-``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS/PL/FU
-catalogue.
+Subcommand mode (concurrency certifier)::
+
+    python -m repro.analysis synccheck --net lenet --threads 1,2,8 --gate
+    python -m repro.analysis synccheck --preemptions 3 --json
+    python -m repro.analysis synccheck --static-only
+    python -m repro.analysis synccheck --trace traces.json
+    python -m repro.analysis synccheck --replay traces.json
+
+``synccheck`` runs the lock-order / barrier-protocol static lint over
+the runtime sources (SY001-SY006), certifies the interleaving model
+checker against seeded defects — a planted lock-order inversion and
+barrier skip must be rediscovered as deadlocks with faithfully
+replaying schedules (SY201/SY202) — and then model-checks each
+requested zoo net's training iteration at each team size under a
+CHESS-style preemption bound (SY101-SY104): every synchronization
+operation is virtualized, the threads fully serialized, and the
+bounded schedule space explored for deadlocks, interleaving-dependent
+exceptions, and schedule-dependent output bits.  ``--trace`` writes
+every verdict's schedule as a replayable JSON trace; ``--replay``
+re-executes previously recorded traces deterministically.
+
+``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS/PL/FU/SY
+catalogue; ``--check-codes`` (any mode) fails when the catalogue and
+the analyzer sources disagree about which codes exist.
 """
 
 from __future__ import annotations
@@ -603,6 +625,145 @@ def fusecheck_main(argv) -> int:
     return 0
 
 
+def synccheck_main(argv) -> int:
+    from repro.analysis.synccheck import (
+        DEFAULT_MAX_RUNS,
+        DEFAULT_MODE,
+        DEFAULT_NETS,
+        replay_trace,
+        run_synccheck,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis synccheck",
+        description="Concurrency certifier: lock-order / "
+                    "barrier-protocol static lint (SY001-SY006), "
+                    "seeded-defect certification of the interleaving "
+                    "model checker (SY201/SY202), and CHESS-style "
+                    "bounded model checking of each zoo net's training "
+                    "iteration (SY101-SY104).",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to model-check (repeatable; default: "
+             f"{', '.join(DEFAULT_NETS)})",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads, default=[1, 2, 8],
+        metavar="N,N,...",
+        help="team sizes to model-check at (default: 1,2,8)",
+    )
+    parser.add_argument(
+        "--mode", default=DEFAULT_MODE, metavar="MODE",
+        help="reduction mode for the model-checked configurations "
+             f"(default: {DEFAULT_MODE})",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=4, metavar="N",
+        help="batch size for the model-checked training iteration "
+             "(default: 4)",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=1, metavar="N",
+        help="training iterations per explored schedule (default: 1)",
+    )
+    parser.add_argument(
+        "--preemptions", type=int, default=2, metavar="N",
+        help="CHESS preemption bound (default: 2)",
+    )
+    parser.add_argument(
+        "--max-runs", type=int, default=DEFAULT_MAX_RUNS, metavar="N",
+        help="schedule budget per configuration; exceeding it is the "
+             f"SY104 warning (default: {DEFAULT_MAX_RUNS})",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="run only the static sync-protocol lint (SY001-SY006)",
+    )
+    parser.add_argument(
+        "--skip-certify", action="store_true",
+        help="skip the seeded-defect certification (SY201/SY202)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write every dynamic verdict's replayable schedule trace "
+             "to FILE as JSON",
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="re-execute the schedule traces in FILE deterministically "
+             "and report faithfulness (no exploration)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable report as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero on any ERROR finding",
+    )
+    args = parser.parse_args(argv)
+
+    if args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
+    if args.iters < 1:
+        parser.error(f"--iters must be >= 1, got {args.iters}")
+    if args.preemptions < 0:
+        parser.error(
+            f"--preemptions must be >= 0, got {args.preemptions}"
+        )
+    if args.max_runs < 1:
+        parser.error(f"--max-runs must be >= 1, got {args.max_runs}")
+
+    if args.replay:
+        with open(args.replay, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        traces = payload.get("traces", [payload])
+        ok = True
+        results = []
+        for i, trace in enumerate(traces):
+            faithful, record = replay_trace(trace)
+            ok = ok and faithful
+            results.append({
+                "trace": i, "faithful": faithful,
+                "status": record.status,
+                "steps": len(record.schedule),
+            })
+            if not args.as_json:
+                print(f"trace {i}: {record.status} after "
+                      f"{len(record.schedule)} steps, replay "
+                      f"{'faithful' if faithful else 'BROKEN'}")
+        if args.as_json:
+            print(json.dumps({"ok": ok, "replays": results}, indent=2))
+        return 0 if ok or not args.gate else 1
+
+    report = run_synccheck(
+        nets=args.net or list(DEFAULT_NETS),
+        threads=args.threads,
+        mode=args.mode,
+        batch=args.batch,
+        iters=args.iters,
+        preemptions=args.preemptions,
+        max_runs=args.max_runs,
+        static_only=args.static_only,
+        certify=not args.skip_certify,
+    )
+
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump({"traces": report.traces}, fh, indent=2)
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
 def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
     def build():
         from repro.data import register_default_sources
@@ -652,8 +813,24 @@ def main(argv=None) -> int:
         return rescheck_main(argv[1:])
     if argv and argv[0] == "plancheck":
         return plancheck_main(argv[1:])
+    if "--check-codes" in argv:
+        from repro.analysis.codes import check_code_drift
+
+        unregistered, unreferenced = check_code_drift()
+        for code in unregistered:
+            print(f"DRIFT {code}: emitted by an analyzer but missing "
+                  "from the catalogue")
+        for code in unreferenced:
+            print(f"DRIFT {code}: registered in the catalogue but no "
+                  "analyzer source mentions it")
+        if unregistered or unreferenced:
+            return 1
+        print("codes: catalogue and analyzer sources agree")
+        return 0
     if argv and argv[0] == "fusecheck":
         return fusecheck_main(argv[1:])
+    if argv and argv[0] == "synccheck":
+        return synccheck_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

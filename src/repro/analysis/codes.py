@@ -1,6 +1,6 @@
 """The coded-finding catalogue of the analysis suite.
 
-Six passes, six code families, one place that names them all:
+Seven passes, eight code families, one place that names them all:
 
 * **FP/RT** — parallel-safety analyzer (PR 1): write-footprint
   classification and runtime-invariant lint.
@@ -16,6 +16,11 @@ Six passes, six code families, one place that names them all:
 * **FU** — graph compiler (PR 7): operator-fusion / memory-arena
   transform checks (shape and cost parity, arena aliasing) and
   fused-vs-unfused bitwise replay certification.
+* **SY** — concurrency certifier (PR 8): lock-order / barrier-protocol
+  static lint over the runtime sources, deterministic bounded model
+  checking of the thread team under interleaving (deadlock, exception,
+  digest divergence), and seeded-defect certification of the checker
+  itself.
 
 ``python -m repro.analysis --list-codes`` prints this table.  Codes are
 stable identifiers: CI configs and suppression lists may reference them,
@@ -219,14 +224,96 @@ CODE_CATALOGUE: Dict[str, Tuple[str, str, str]] = {
     "FU202": ("fusecheck", "info",
               "fused+arena replay certified bitwise-identical to the "
               "unfused sequential baseline"),
+    # ---- concurrency certifier: static sync-protocol lint ----
+    "SY001": ("synccheck", "error",
+              "lock-order cycle: two locks are acquired in opposite "
+              "nesting orders on different code paths (ABBA deadlock)"),
+    "SY002": ("synccheck", "error",
+              "lock held across a barrier, ordered turn, condition "
+              "wait, or blocking call (join/parallel region)"),
+    "SY003": ("synccheck", "error",
+              "Condition.wait outside a predicate re-check loop "
+              "(missed/spurious wakeups go unnoticed)"),
+    "SY004": ("synccheck", "error",
+              "module-level mutable state written without holding a "
+              "lock in a threading-aware module"),
+    "SY005": ("synccheck", "error",
+              "barrier divergence: non-exempt code paths through a "
+              "function hit a team barrier a different number of times"),
+    "SY006": ("synccheck", "error",
+              "re-acquisition of a held non-reentrant lock "
+              "(self-deadlock)"),
+    # ---- concurrency certifier: interleaving model checker ----
+    "SY101": ("synccheck", "error",
+              "deadlock under some explored interleaving (every live "
+              "thread blocked; pending ops and replayable schedule "
+              "reported)"),
+    "SY102": ("synccheck", "error",
+              "exception raised under some explored interleaving that "
+              "the canonical schedule does not raise"),
+    "SY103": ("synccheck", "error",
+              "schedule-dependent output: a configuration whose "
+              "invariance tier promises determinism produced different "
+              "output bits under two interleavings"),
+    "SY104": ("synccheck", "warning",
+              "exploration truncated at the run budget before "
+              "exhausting the preemption-bounded schedule space"),
+    # ---- concurrency certifier: seeded-defect certification ----
+    "SY201": ("synccheck", "error",
+              "seeded synchronization defect NOT rediscovered: the "
+              "model checker missed a planted lock-order inversion or "
+              "barrier skip (checker regression)"),
+    "SY202": ("synccheck", "info",
+              "seeded defect rediscovered as a deadlock and its "
+              "recorded schedule replayed faithfully"),
 }
+
+
+def source_code_references() -> Dict[str, List[str]]:
+    """Scan the analysis package sources for finding-code mentions.
+
+    Returns ``code -> [filenames]`` for every ``XX###`` token in any
+    module of this package except the catalogue itself.  Both emission
+    sites (``Finding(rule="SY101", ...)``) and documentation mentions
+    count as references — the drift check wants the catalogue and the
+    sources to agree, whichever direction a code travels.
+    """
+    import os
+    import re
+
+    pattern = re.compile(r"\b(?:FP|RT|NG|DC|RS|PL|FU|SY)\d{3}\b")
+    pkg = os.path.dirname(os.path.abspath(__file__))
+    refs: Dict[str, List[str]] = {}
+    for fname in sorted(os.listdir(pkg)):
+        if not fname.endswith(".py") or fname == "codes.py":
+            continue
+        with open(os.path.join(pkg, fname), encoding="utf-8") as fh:
+            text = fh.read()
+        for code in sorted(set(pattern.findall(text))):
+            refs.setdefault(code, []).append(fname)
+    return refs
+
+
+def check_code_drift() -> Tuple[List[str], List[str]]:
+    """Catalogue/source consistency: returns (unregistered, unreferenced).
+
+    *unregistered* — codes the analyzer sources mention but the
+    catalogue does not define (an analyzer emitting an undocumented
+    code).  *unreferenced* — catalogue entries no analyzer source
+    mentions (a dead registration).  CI fails on either.
+    """
+    refs = source_code_references()
+    unregistered = sorted(c for c in refs if c not in CODE_CATALOGUE)
+    unreferenced = sorted(c for c in CODE_CATALOGUE if c not in refs)
+    return unregistered, unreferenced
 
 
 def catalogue_lines() -> List[str]:
     """Human-readable rendering of the full code catalogue."""
     lines = [f"{len(CODE_CATALOGUE)} finding codes "
              "(FP/RT: parallel-safety, NG: netcheck, DC: detcheck, "
-             "RS: rescheck, PL: plancheck, FU: fusecheck)"]
+             "RS: rescheck, PL: plancheck, FU: fusecheck, "
+             "SY: synccheck)"]
     for code, (pass_name, severity, desc) in sorted(CODE_CATALOGUE.items()):
         lines.append(f"  {code}  {pass_name:<10} {severity:<8} {desc}")
     return lines

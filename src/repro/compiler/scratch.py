@@ -23,12 +23,20 @@ with a keyed pool:
 ``pool_stats()`` aggregates hit/miss counters across every thread that
 ever touched the pool; the zero-allocation regression test resets the
 counters after warmup and asserts the steady state never misses.
+
+The registry tracks ``(thread, state)`` pairs so that states belonging
+to threads that have exited can be retired: their slabs are dropped
+(the memory is what matters) while their hit/miss counters fold into a
+retired-totals accumulator, keeping ``pool_stats()`` aggregates stable
+across ThreadTeam lifetimes.  ``ThreadTeam.shutdown`` calls
+:func:`release_dead_states`; long-lived processes cycling many teams
+therefore never accumulate dead slab entries under ``_STATES_LOCK``.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -47,8 +55,42 @@ class _PoolState:
 
 
 _TLS = threading.local()
-_STATES: list = []          # every thread's _PoolState, for aggregation
+#: (owning thread, its _PoolState) for every live thread that touched
+#: the pool — kept pruned of dead threads by release_dead_states().
+_STATES: List[Tuple[threading.Thread, _PoolState]] = []
 _STATES_LOCK = threading.Lock()
+#: hit/miss totals inherited from retired (dead-thread) states, so the
+#: aggregate counters survive pruning.
+_RETIRED = {"hits": 0, "misses": 0}
+
+
+def _retire_dead_locked() -> None:
+    """Drop dead threads' states; fold their counters into _RETIRED.
+
+    Caller must hold ``_STATES_LOCK``.
+    """
+    live: List[Tuple[threading.Thread, _PoolState]] = []
+    for thread, state in _STATES:
+        if thread.is_alive():
+            live.append((thread, state))
+        else:
+            _RETIRED["hits"] += state.hits
+            _RETIRED["misses"] += state.misses
+            state.buffers.clear()
+    _STATES[:] = live
+
+
+def release_dead_states() -> int:
+    """Retire pool states whose owning threads have exited.
+
+    Returns the number of states released.  Safe to call from any
+    thread at any time; ``ThreadTeam.shutdown`` invokes it so worker
+    slabs are reclaimed when a team is torn down.
+    """
+    with _STATES_LOCK:
+        before = len(_STATES)
+        _retire_dead_locked()
+        return before - len(_STATES)
 
 
 def _state() -> _PoolState:
@@ -56,7 +98,8 @@ def _state() -> _PoolState:
     if state is None:
         state = _PoolState()
         with _STATES_LOCK:
-            _STATES.append(state)
+            _retire_dead_locked()
+            _STATES.append((threading.current_thread(), state))
         _TLS.state = state
     return state
 
@@ -83,12 +126,20 @@ def scratch_buffer(tag: str, shape: Sequence[int],
 
 
 def pool_stats() -> Dict[str, int]:
-    """Aggregate counters across every thread that used the pool."""
+    """Aggregate counters across every thread that used the pool.
+
+    Retired (dead-thread) states keep contributing their hit/miss
+    counts; their buffers are gone, so ``buffers``/``bytes`` only cover
+    live threads.
+    """
     with _STATES_LOCK:
-        states = list(_STATES)
+        _retire_dead_locked()
+        states = [s for _, s in _STATES]
+        hits = _RETIRED["hits"]
+        misses = _RETIRED["misses"]
     return {
-        "hits": sum(s.hits for s in states),
-        "misses": sum(s.misses for s in states),
+        "hits": hits + sum(s.hits for s in states),
+        "misses": misses + sum(s.misses for s in states),
         "buffers": sum(len(s.buffers) for s in states),
         "bytes": sum(b.nbytes for s in states for b in s.buffers.values()),
     }
@@ -97,7 +148,9 @@ def pool_stats() -> Dict[str, int]:
 def reset_pool_stats() -> None:
     """Zero the hit/miss counters everywhere; keep the buffers warm."""
     with _STATES_LOCK:
-        states = list(_STATES)
+        _RETIRED["hits"] = 0
+        _RETIRED["misses"] = 0
+        states = [s for _, s in _STATES]
     for state in states:
         state.hits = 0
         state.misses = 0
@@ -110,7 +163,10 @@ def clear_pool() -> None:
     them, so the next request reallocates.  Test isolation helper.
     """
     with _STATES_LOCK:
-        states = list(_STATES)
+        _RETIRED["hits"] = 0
+        _RETIRED["misses"] = 0
+        _retire_dead_locked()
+        states = [s for _, s in _STATES]
     for state in states:
         state.buffers.clear()
         state.hits = 0

@@ -238,6 +238,14 @@ class ParallelExecutor:
                 body = lambda lo, hi, tid: layer.forward_chunk(
                     bottom, top, lo, hi
                 )
+            sync = self.team.sync
+            if sync.observes_chunks:
+                inner = body
+
+                def body(lo: int, hi: int, tid: int,
+                         inner=inner, name=layer.name) -> None:
+                    sync.chunk_point(self.team, tid, name, "forward", lo, hi)
+                    inner(lo, hi, tid)
             layer_plan = self._layer_plan(layer.name)
             try:
                 if layer_plan is not None and layer_plan.threads <= 1:
@@ -312,6 +320,16 @@ class ParallelExecutor:
                 plain_body = lambda lo, hi, tid: loop.body(
                     lo, hi, loop.grad_targets
                 )
+            sync = self.team.sync
+            if sync.observes_chunks:
+                inner = plain_body
+
+                def plain_body(lo: int, hi: int, tid: int,
+                               inner=inner) -> None:
+                    sync.chunk_point(
+                        self.team, tid, layer_name, "backward", lo, hi
+                    )
+                    inner(lo, hi, tid)
             self.team.parallel_for(
                 loop.space, plain_body,
                 self.schedule if layer_plan is None
@@ -371,6 +389,7 @@ class ParallelExecutor:
             else sched.chunk_server(loop.space, team.num_threads)
         )
         instrument = self.instrument
+        observe = team.sync.observes_chunks
 
         def region(ctx: RegionContext) -> None:
             grads = self.pool.request(ctx.thread_id, sizes)
@@ -380,6 +399,10 @@ class ParallelExecutor:
                         self._record(
                             layer_name, "backward", lo, hi, ctx.thread_id, True
                         )
+                    if observe:
+                        team.sync.chunk_point(
+                            team, ctx.thread_id, layer_name, "backward", lo, hi
+                        )
                     loop.body(lo, hi, grads)
             else:
                 while (chunk := server.next_chunk()) is not None:
@@ -387,6 +410,11 @@ class ParallelExecutor:
                         self._record(
                             layer_name, "backward", chunk[0], chunk[1],
                             ctx.thread_id, True,
+                        )
+                    if observe:
+                        team.sync.chunk_point(
+                            team, ctx.thread_id, layer_name, "backward",
+                            chunk[0], chunk[1],
                         )
                     loop.body(chunk[0], chunk[1], grads)
             merge = lambda: add_into(loop.grad_targets, grads)
@@ -415,6 +443,7 @@ class ParallelExecutor:
             sched.chunk_server(loop.space, team.num_threads)
         per_thread: List[List[np.ndarray]] = [None] * team.num_threads  # type: ignore
         instrument = self.instrument
+        observe = team.sync.observes_chunks
 
         def region(ctx: RegionContext) -> None:
             grads = self.pool.request(ctx.thread_id, sizes)
@@ -425,6 +454,10 @@ class ParallelExecutor:
                         self._record(
                             layer_name, "backward", lo, hi, ctx.thread_id, True
                         )
+                    if observe:
+                        team.sync.chunk_point(
+                            team, ctx.thread_id, layer_name, "backward", lo, hi
+                        )
                     loop.body(lo, hi, grads)
             else:
                 while (chunk := server.next_chunk()) is not None:
@@ -432,6 +465,11 @@ class ParallelExecutor:
                         self._record(
                             layer_name, "backward", chunk[0], chunk[1],
                             ctx.thread_id, True,
+                        )
+                    if observe:
+                        team.sync.chunk_point(
+                            team, ctx.thread_id, layer_name, "backward",
+                            chunk[0], chunk[1],
                         )
                     loop.body(chunk[0], chunk[1], grads)
 
@@ -467,6 +505,10 @@ class ParallelExecutor:
                     hi = min(lo + block, loop.space)
                     if self.instrument:
                         self._record(layer_name, "backward", lo, hi, tid, True)
+                    if self.team.sync.observes_chunks:
+                        self.team.sync.chunk_point(
+                            self.team, tid, layer_name, "backward", lo, hi
+                        )
                     loop.body(lo, hi, buffers[rel])
 
             self.team.parallel_for(count, window_body, sched)

@@ -11,7 +11,10 @@ identical::
     python -m repro.tools.analyze plancheck --gate            # PL
     python -m repro.tools.analyze plancheck --net lenet \\
         --threads 8 --emit-plan lenet.plan.json               # PL
+    python -m repro.tools.analyze fusecheck --gate            # FU
+    python -m repro.tools.analyze synccheck --gate            # SY
     python -m repro.tools.analyze --list-codes
+    python -m repro.tools.analyze --check-codes
 
 See :mod:`repro.analysis.__main__` for the full per-pass help.
 """

@@ -101,3 +101,77 @@ class TestConvZeroAlloc:
         assert stats["misses"] == 0, (
             f"conv scratch hit the allocator in steady state: {stats}")
         assert stats["hits"] > 0
+
+
+class TestDeadStateRelease:
+    """Pool states of exited threads must be reclaimed, not accumulated."""
+
+    def _run_in_thread(self, fn):
+        t = threading.Thread(target=fn)
+        t.start()
+        t.join()
+
+    def test_release_drops_dead_thread_slabs(self):
+        from repro.compiler.scratch import release_dead_states
+
+        self._run_in_thread(lambda: scratch_buffer("w", (1024,)))
+        # the dead worker's buffer bytes must vanish from the registry
+        released = release_dead_states()
+        assert released == 1
+        stats = pool_stats()
+        assert stats["buffers"] == 0
+        assert stats["bytes"] == 0
+
+    def test_retired_counters_survive_release(self):
+        from repro.compiler.scratch import release_dead_states
+
+        def work():
+            scratch_buffer("w", (8,))   # miss
+            scratch_buffer("w", (8,))   # hit
+
+        self._run_in_thread(work)
+        release_dead_states()
+        stats = pool_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_release_is_idempotent_and_keeps_live_states(self):
+        from repro.compiler.scratch import release_dead_states
+
+        mine = scratch_buffer("live", (16,))
+        self._run_in_thread(lambda: scratch_buffer("dead", (16,)))
+        assert release_dead_states() == 1
+        assert release_dead_states() == 0
+        stats = pool_stats()
+        assert stats["buffers"] == 1
+        assert stats["bytes"] == mine.nbytes
+
+    def test_team_shutdown_releases_worker_states(self):
+        from repro.core.team import ThreadTeam
+
+        def grab(ctx):
+            scratch_buffer("t", (32,))
+
+        team = ThreadTeam(2)
+        team.parallel(grab)
+        assert pool_stats()["buffers"] == 2
+        team.shutdown()
+        stats = pool_stats()
+        assert stats["buffers"] == 1  # only the master's survives
+        assert stats["misses"] == 2   # counters fold into retired totals
+
+    def test_registry_stays_bounded_across_team_generations(self):
+        from repro.compiler.scratch import _STATES, _STATES_LOCK
+        from repro.core.team import ThreadTeam
+
+        def grab(ctx):
+            scratch_buffer("gen", (8,))
+
+        for _ in range(5):
+            team = ThreadTeam(2)
+            team.parallel(grab)
+            team.shutdown()
+        with _STATES_LOCK:
+            live = len(_STATES)
+        # master + at most the threads of the last (shut-down) team
+        assert live <= 2

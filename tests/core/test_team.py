@@ -219,3 +219,155 @@ class TestParallelFor:
             out = np.zeros(10)
             team.parallel_for(10, lambda lo, hi, tid: out[lo:hi].fill(tid + 1))
             assert np.allclose(out, 1.0)
+
+
+class TestAbortAtEverySyncPoint:
+    """Fault-inject a failure at each region sync point; the root cause
+    must win error selection and the team must stay usable."""
+
+    POINTS = ("start", "critical", "ordered", "finish")
+
+    @staticmethod
+    def _body(point, faulty):
+        from repro.resilience.faults import InjectedFault
+
+        def noop():
+            pass
+
+        def boom():
+            raise InjectedFault(f"injected at {point}")
+
+        def body(ctx):
+            if ctx.thread_id == faulty and point == "start":
+                raise InjectedFault("injected at start")
+            ctx.barrier()
+            if point == "critical":
+                ctx.critical(boom if ctx.thread_id == faulty else noop)
+            elif point == "ordered":
+                ctx.ordered(boom if ctx.thread_id == faulty else noop)
+            else:
+                ctx.critical(noop)
+                ctx.ordered(noop)
+            ctx.barrier()
+            if ctx.thread_id == faulty and point == "finish":
+                raise InjectedFault("injected after last barrier")
+
+        return body
+
+    @pytest.mark.parametrize("nthreads", [2, 8])
+    @pytest.mark.parametrize("point", POINTS)
+    def test_root_cause_wins_and_team_survives(self, nthreads, point):
+        from repro.core.team import _RegionAborted
+        from repro.resilience.faults import InjectedFault
+
+        with ThreadTeam(nthreads) as team:
+            with pytest.raises(WorkerError) as excinfo:
+                team.parallel(self._body(point, faulty=1))
+            err = excinfo.value
+            assert isinstance(err.original, InjectedFault), (
+                f"{point}: root cause was {type(err.original).__name__}"
+            )
+            assert err.thread_id == 1
+            for peer in err.peer_errors:
+                assert isinstance(
+                    peer.original,
+                    (_RegionAborted, threading.BrokenBarrierError),
+                ), f"{point}: peer {peer.thread_id} not demoted"
+            # clean teardown: the team must run a full region afterwards
+            out = np.zeros(nthreads)
+            team.parallel_for(
+                nthreads, lambda lo, hi, tid: out[lo:hi].fill(1.0))
+            assert np.allclose(out, 1.0)
+
+    @pytest.mark.parametrize("nthreads", [2, 8])
+    def test_master_abort_at_start(self, nthreads):
+        from repro.resilience.faults import InjectedFault
+
+        with ThreadTeam(nthreads) as team:
+            with pytest.raises(WorkerError) as excinfo:
+                team.parallel(self._body("start", faulty=0))
+            assert isinstance(excinfo.value.original, InjectedFault)
+            assert excinfo.value.thread_id == 0
+            team.parallel(lambda ctx: None)
+
+
+class TestWatchdog:
+    def test_default_is_disabled(self):
+        with ThreadTeam(2) as team:
+            assert team.watchdog is None
+
+    def test_env_var_parsing(self, monkeypatch):
+        from repro.core.team import _default_watchdog
+
+        for raw, want in (("2.5", 2.5), ("", None),
+                          ("junk", None), ("-1", None)):
+            monkeypatch.setenv("REPRO_TEAM_WATCHDOG", raw)
+            assert _default_watchdog() == want
+
+    def test_invalid_watchdog_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(2, watchdog=0)
+
+    def test_barrier_timeout_reports_stuck_thread(self):
+        from repro.core.team import TeamDeadlock
+
+        with ThreadTeam(2, watchdog=0.2) as team:
+
+            def body(ctx):
+                if ctx.thread_id == 1:
+                    time.sleep(1.0)  # never reaches the barrier in time
+                ctx.barrier()
+
+            with pytest.raises(WorkerError) as excinfo:
+                team.parallel(body)
+            root = excinfo.value.original
+            assert isinstance(root, TeamDeadlock)
+            assert root.point == "region-barrier"
+            assert "last sync point" in str(root)
+            assert "thread 1" in str(root)
+            # stack dump names the sleeping frame
+            assert "time.sleep" in str(root) or "sleep" in str(root)
+            team.parallel(lambda ctx: None)  # team recovered
+
+    def test_ordered_timeout_names_the_turn(self):
+        from repro.core.team import TeamDeadlock
+
+        with ThreadTeam(2, watchdog=0.2) as team:
+
+            def body(ctx):
+                if ctx.thread_id == 1:
+                    ctx.ordered(lambda: None)  # waits on t0's turn forever
+                else:
+                    time.sleep(1.0)
+
+            with pytest.raises(WorkerError) as excinfo:
+                team.parallel(body)
+            root = excinfo.value.original
+            assert isinstance(root, TeamDeadlock)
+            assert root.point == "ordered"
+            team.parallel(lambda ctx: None)
+
+    def test_critical_timeout_while_lock_hogged(self):
+        from repro.core.team import TeamDeadlock
+
+        with ThreadTeam(2, watchdog=0.2) as team:
+
+            def body(ctx):
+                if ctx.thread_id == 0:
+                    ctx.critical(lambda: time.sleep(1.0))
+                else:
+                    time.sleep(0.05)  # let t0 grab the lock first
+                    ctx.critical(lambda: None)
+
+            with pytest.raises(WorkerError) as excinfo:
+                team.parallel(body)
+            root = excinfo.value.original
+            assert isinstance(root, TeamDeadlock)
+            assert root.point == "critical"
+            team.parallel(lambda ctx: None)
+
+    def test_last_sync_recorded_per_thread(self):
+        with ThreadTeam(2, watchdog=5.0) as team:
+            team.parallel(lambda ctx: ctx.barrier())
+            assert team._last_sync[0] is not None
+            assert team._last_sync[1] is not None

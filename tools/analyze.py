@@ -6,6 +6,7 @@ Thin wrapper so every analysis can be run straight from a checkout::
     python tools/analyze.py netcheck --prototxt my_net.prototxt --gate
     python tools/analyze.py detcheck --net lenet --threads 1,2,8 --gate
     python tools/analyze.py rescheck --net lenet --threads 1,2,8 --gate
+    python tools/analyze.py synccheck --net lenet --threads 1,2,8 --gate
     python tools/analyze.py --list-codes
 
 Flag mode runs the parallel-safety analyzer (static write-footprint
@@ -22,8 +23,14 @@ recovery certification (RS201-RS204).  The ``plancheck`` subcommand
 runs the auto-parallelization planner (PL001-PL006 lint, PL201/PL202
 replay certification).  The ``fusecheck`` subcommand runs the graph
 compiler's certifier: fusion + arena transform checks (FU001-FU005)
-and fused-vs-unfused bitwise replay certification (FU201/FU202).
-``--list-codes`` prints the full FP/RT/NG/DC/RS/PL/FU catalogue.
+and fused-vs-unfused bitwise replay certification (FU201/FU202).  The
+``synccheck`` subcommand runs the concurrency certifier: lock-order /
+barrier-protocol static lint (SY001-SY006), seeded-defect
+certification of the interleaving model checker (SY201/SY202), and
+CHESS-style bounded model checking of each zoo net's training
+iteration (SY101-SY104).
+``--list-codes`` prints the full FP/RT/NG/DC/RS/PL/FU/SY catalogue;
+``--check-codes`` verifies catalogue/source agreement.
 Equivalent to ``PYTHONPATH=src python -m repro.analysis``.
 """
 
