@@ -16,13 +16,22 @@ A third pass certifies determinism (:mod:`repro.analysis.rng_lint`,
 :mod:`repro.analysis.detcheck`): static nondeterminism lint (DC001-
 DC007), configuration invariance-tier rules (DC101-DC104), and bitwise
 replay certification of the paper's convergence-invariance property
-(DC201-DC203).  :mod:`repro.analysis.codes` names every FP/RT/NG/DC
-code in one catalogue.
+(DC201-DC203).
+
+A performance pass (:mod:`repro.analysis.perflint`,
+:mod:`repro.analysis.perfcheck`) lints chunk-reachable layer code for
+performance bugs against per-layer ``PerfDecl`` allow-lists
+(PE001-PE005), classifies every layer pass on the cost model's
+roofline (PE101/PE102), and calibrates ``CPUModel.layer_time`` against
+traced wall-clock runs (PE201-PE203).  :mod:`repro.analysis.codes`
+names every FP/RT/NG/DC/RS/PL/FU/SY/PE code in one catalogue.
 
 Entry points: :func:`analyze_layer_class` for one class,
 :func:`run_static` / :func:`run_dynamic` / :func:`run_analysis` for
 whole nets, :func:`run_detcheck` / :func:`certify_mode` for the
-determinism certifier, and ``python -m repro.analysis`` for the CLI.
+determinism certifier, :func:`lint_perf` / :func:`run_perfcheck` for
+the performance certifier, and ``python -m repro.analysis`` for the
+CLI.
 """
 
 from repro.analysis.footprint import (
@@ -44,6 +53,12 @@ from repro.analysis.detcheck import (
     ulp_distance,
 )
 from repro.analysis.lint import lint_runtime
+from repro.analysis.perfcheck import PerfReport, run_perfcheck
+from repro.analysis.perflint import (
+    analyze_layer_perf,
+    lint_perf,
+    lint_sources_perf,
+)
 from repro.analysis.race import run_analysis, run_dynamic, run_static
 from repro.analysis.report import (
     ERROR,
@@ -74,11 +89,13 @@ __all__ = [
     "Finding",
     "LayerReport",
     "ModeCertificate",
+    "PerfReport",
     "Race",
     "StaticReport",
     "Trajectory",
     "analyze_classes",
     "analyze_layer_class",
+    "analyze_layer_perf",
     "analyze_layer_rng",
     "builtin_layer_classes",
     "capture_trajectory",
@@ -86,12 +103,15 @@ __all__ = [
     "certify_mode",
     "classify_config",
     "first_divergence",
+    "lint_perf",
     "lint_rng",
     "lint_runtime",
     "lint_sources",
+    "lint_sources_perf",
     "run_analysis",
     "run_detcheck",
     "run_dynamic",
+    "run_perfcheck",
     "run_static",
     "ulp_distance",
 ]

@@ -107,7 +107,29 @@ exceptions, and schedule-dependent output bits.  ``--trace`` writes
 every verdict's schedule as a replayable JSON trace; ``--replay``
 re-executes previously recorded traces deterministically.
 
-``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS/PL/FU/SY
+Subcommand mode (performance certifier)::
+
+    python -m repro.analysis perfcheck --gate --static-only
+    python -m repro.analysis perfcheck --net lenet --threads 1,2,8 --gate
+    python -m repro.analysis perfcheck --timing-warn-only \\
+        --bench-out BENCH_perf.json
+    python -m repro.analysis perfcheck --iters 5 --tolerance 8 --json
+
+``perfcheck`` runs the static performance-bug lint over the layer
+chunk code and the core/compiler sources (PE001-PE005: undeclared
+float64 upcasts, hot-loop allocations, implicit copies,
+iteration-space Python loops, and stale ``PerfDecl`` allowances), the
+roofline classifier (PE101/PE102: per-layer arithmetic intensity,
+compute- vs bandwidth-bound at each planned width, DRAM saturation),
+and — unless ``--static-only`` — the cost-model calibration certifier
+(PE201-PE203): every zoo layer is timed fwd/bwd through the tracing
+executor at each team size with BLAS pools pinned, compared against
+``CPUModel.layer_times``, and gated on per-layer-type residual drift.
+``--timing-warn-only`` demotes PE201 to WARNING for hosts where
+wall-clock gating would flake; ``--bench-out`` writes the calibration
+run as ``BENCH_perf.json`` in the ``repro-bench/1`` envelope.
+
+``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS/PL/FU/SY/PE
 catalogue; ``--check-codes`` (any mode) fails when the catalogue and
 the analyzer sources disagree about which codes exist.
 """
@@ -764,6 +786,120 @@ def synccheck_main(argv) -> int:
     return 0
 
 
+def perfcheck_main(argv) -> int:
+    from repro.analysis.perfcheck import (
+        DEFAULT_ITERS,
+        DEFAULT_NETS,
+        DEFAULT_THREADS,
+        DEFAULT_TOLERANCE,
+        DEFAULT_WARMUP,
+        run_perfcheck,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis perfcheck",
+        description="Performance certifier: static performance-bug "
+                    "lint over chunk-reachable layer code and the "
+                    "core/compiler sources (PE001-PE005), roofline "
+                    "classification against the cost model "
+                    "(PE101/PE102), and wall-clock calibration of "
+                    "CPUModel.layer_time with a per-layer-type "
+                    "residual gate (PE201-PE203).",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to certify (repeatable; default: "
+             f"{', '.join(DEFAULT_NETS)})",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads,
+        default=list(DEFAULT_THREADS), metavar="N,N,...",
+        help="team sizes to classify and calibrate at (default: "
+             f"{','.join(map(str, DEFAULT_THREADS))})",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=DEFAULT_ITERS, metavar="N",
+        help="timed iterations per (net, team) for the median "
+             f"(default: {DEFAULT_ITERS})",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=DEFAULT_WARMUP, metavar="N",
+        help="untimed warmup iterations per configuration "
+             f"(default: {DEFAULT_WARMUP})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        metavar="X",
+        help="PE201 band half-width: a per-(type, pass) geomean "
+             "residual outside [1/X, X] after scale normalization "
+             f"fails the gate (default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="run the PE lint and roofline classifier but skip the "
+             "wall-clock calibration",
+    )
+    parser.add_argument(
+        "--timing-warn-only", action="store_true",
+        help="demote PE201 calibration drift to WARNING (for hosts "
+             "where wall-clock gating would flake)",
+    )
+    parser.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write the calibration run as a repro-bench/1 envelope "
+             "(e.g. BENCH_perf.json); requires the timing pass",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable report as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero if any ERROR finding is present",
+    )
+    args = parser.parse_args(argv)
+
+    if args.iters < 1:
+        parser.error(f"--iters must be >= 1, got {args.iters}")
+    if args.warmup < 0:
+        parser.error(f"--warmup must be >= 0, got {args.warmup}")
+    if args.tolerance <= 1.0:
+        parser.error(f"--tolerance must be > 1, got {args.tolerance}")
+    if args.bench_out and args.static_only:
+        parser.error("--bench-out needs the timing pass; drop "
+                     "--static-only")
+
+    report = run_perfcheck(
+        nets=args.net or DEFAULT_NETS,
+        threads=args.threads,
+        iters=args.iters,
+        warmup=args.warmup,
+        tolerance=args.tolerance,
+        static_only=args.static_only,
+        timing_warn_only=args.timing_warn_only,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+
+    if args.bench_out and report.timing_ran:
+        from repro.bench.schema import dump_bench, envelope
+
+        doc = envelope(kind="perf", timer=report.timer,
+                       nets=report.bench_nets)
+        dump_bench(doc, args.bench_out)
+        print(f"calibration written to {args.bench_out}",
+              file=sys.stderr)
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
 def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
     def build():
         from repro.data import register_default_sources
@@ -831,6 +967,8 @@ def main(argv=None) -> int:
         return fusecheck_main(argv[1:])
     if argv and argv[0] == "synccheck":
         return synccheck_main(argv[1:])
+    if argv and argv[0] == "perfcheck":
+        return perfcheck_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

@@ -1,6 +1,6 @@
 """The coded-finding catalogue of the analysis suite.
 
-Seven passes, eight code families, one place that names them all:
+Eight passes, nine code families, one place that names them all:
 
 * **FP/RT** — parallel-safety analyzer (PR 1): write-footprint
   classification and runtime-invariant lint.
@@ -21,6 +21,12 @@ Seven passes, eight code families, one place that names them all:
   checking of the thread team under interleaving (deadlock, exception,
   digest divergence), and seeded-defect certification of the checker
   itself.
+* **PE** — performance certifier (PR 9): static performance-bug lint
+  over the layer chunk code (float64 upcasts, hot-loop allocations,
+  implicit copies, iteration-space Python loops) gated by per-layer
+  ``PerfDecl`` allow-lists, a roofline classifier over the cost model,
+  and wall-clock calibration of ``CPUModel.layer_time`` against traced
+  zoo runs.
 
 ``python -m repro.analysis --list-codes`` prints this table.  Codes are
 stable identifiers: CI configs and suppression lists may reference them,
@@ -266,6 +272,49 @@ CODE_CATALOGUE: Dict[str, Tuple[str, str, str]] = {
     "SY202": ("synccheck", "info",
               "seeded defect rediscovered as a deadlock and its "
               "recorded schedule replayed faithfully"),
+    # ---- performance certifier: static performance-bug lint ----
+    "PE001": ("perfcheck", "error",
+              "undeclared float64 upcast in chunk-reachable code "
+              "(astype/dtype=/np.float64 outside the layer's PerfDecl "
+              "allow-list): silently doubles bandwidth per element"),
+    "PE002": ("perfcheck", "error",
+              "undeclared array allocation in chunk-reachable code "
+              "(np.zeros/empty/... per chunk instead of the scratch "
+              "pool): allocator traffic scales with the thread count"),
+    "PE003": ("perfcheck", "warning",
+              "undeclared implicit copy in chunk-reachable code "
+              "(ascontiguousarray / flatten / ravel of a strided view "
+              "materializes a hidden temporary)"),
+    "PE004": ("perfcheck", "warning",
+              "undeclared Python-level loop over an iteration-space-"
+              "sized range in chunk-reachable code (interpreter "
+              "dispatch per element instead of a vectorized op)"),
+    "PE005": ("perfcheck", "error",
+              "PerfDecl drift: an allowance names an unknown or "
+              "non-chunk-reachable method, or vouches for a hazard the "
+              "method no longer contains (stale declaration)"),
+    # ---- performance certifier: roofline classifier ----
+    "PE101": ("perfcheck", "info",
+              "planned thread width exceeds the modelled DRAM "
+              "bandwidth saturation width for a bandwidth-bound layer "
+              "(extra threads buy <10% marginal bandwidth)"),
+    "PE102": ("perfcheck", "info",
+              "dispatch/fork-join overhead exceeds half the modelled "
+              "layer time at the planned width (layer too small to "
+              "parallelize profitably)"),
+    # ---- performance certifier: calibration certification ----
+    "PE201": ("perfcheck", "error",
+              "cost-model drift: a (layer type, pass) geometric-mean "
+              "residual of measured vs predicted time falls outside "
+              "the calibration tolerance band after per-run scale "
+              "normalization"),
+    "PE202": ("perfcheck", "info",
+              "calibration fit summary (per-run scale factors and the "
+              "per-type residual spread actually observed)"),
+    "PE203": ("perfcheck", "warning",
+              "noisy timing sample (MAD/median above threshold or "
+              "below the timer noise floor); layer excluded from the "
+              "calibration fit"),
 }
 
 
@@ -281,7 +330,7 @@ def source_code_references() -> Dict[str, List[str]]:
     import os
     import re
 
-    pattern = re.compile(r"\b(?:FP|RT|NG|DC|RS|PL|FU|SY)\d{3}\b")
+    pattern = re.compile(r"\b(?:FP|RT|NG|DC|RS|PL|FU|SY|PE)\d{3}\b")
     pkg = os.path.dirname(os.path.abspath(__file__))
     refs: Dict[str, List[str]] = {}
     for fname in sorted(os.listdir(pkg)):
@@ -313,7 +362,7 @@ def catalogue_lines() -> List[str]:
     lines = [f"{len(CODE_CATALOGUE)} finding codes "
              "(FP/RT: parallel-safety, NG: netcheck, DC: detcheck, "
              "RS: rescheck, PL: plancheck, FU: fusecheck, "
-             "SY: synccheck)"]
+             "SY: synccheck, PE: perfcheck)"]
     for code, (pass_name, severity, desc) in sorted(CODE_CATALOGUE.items()):
         lines.append(f"  {code}  {pass_name:<10} {severity:<8} {desc}")
     return lines

@@ -159,6 +159,85 @@ class RNGDecl:
             )
 
 
+# ---------------------------------------------------------------------------
+# performance allow-list (the perf contract, checked by repro.analysis.perfcheck)
+# ---------------------------------------------------------------------------
+#: Allowance categories a :class:`PerfDecl` may grant, keyed by the PE lint
+#: rule each one silences.  ``float64`` — deliberate double-precision
+#: accumulation in chunk code (PE001).  ``allocs`` — array-constructing
+#: calls in chunk code that cannot (or need not) route through the scratch
+#: pool (PE002).  ``copies`` — deliberate contiguity copies feeding BLAS
+#: (PE003).  ``loops`` — Python-level loops over iteration-space-sized
+#: ranges that are the architecture, not an accident (PE004): one BLAS call
+#: per coalesced iteration, priced as ``segments`` dispatch by the cost
+#: model.
+_PERF_CATEGORIES = ("float64", "allocs", "copies", "loops")
+
+
+@dataclass(frozen=True)
+class PerfDecl:
+    """A layer's declared performance allow-list, checked by the
+    performance certifier (``repro.analysis.perfcheck``).
+
+    Each field names the layer's *own* methods (chunk-reachable code) in
+    which the corresponding anti-pattern is deliberate.  An allowance
+    silences the matching PE lint rule for that method only; the lint
+    still flags the construct anywhere undeclared, and flags stale
+    allowances that no longer match any construct (PE005).  Inherited
+    declarations never vouch for a subclass's own code.
+
+    Attributes
+    ----------
+    float64:
+        Methods that deliberately compute in ``np.float64`` — fixed-order
+        double accumulation backing the bitwise-invariance contract
+        (e.g. LRN's window sums).
+    allocs:
+        Methods whose array-constructing calls are deliberate: either the
+        allocation is batch-sized-but-cheap (boolean masks, ``arange``
+        index vectors) or has no pooled equivalent (``np.stack`` over a
+        variable bottom list).
+    copies:
+        Methods whose explicit contiguity copies (``ascontiguousarray``,
+        strided ``ravel``) feed BLAS calls that require contiguous
+        operands.
+    loops:
+        Methods whose Python-level loop over an iteration-space-sized
+        range is the documented chunking design (per-civ BLAS dispatch).
+    note:
+        One-line justification, required — a declaration without a *why*
+        is just a silenced warning.
+    """
+
+    float64: Tuple[str, ...] = ()
+    allocs: Tuple[str, ...] = ()
+    copies: Tuple[str, ...] = ()
+    loops: Tuple[str, ...] = ()
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.note.strip():
+            raise ValueError(
+                "a PerfDecl must carry a non-empty note explaining why "
+                "the declared constructs are deliberate"
+            )
+        if not any(getattr(self, cat) for cat in _PERF_CATEGORIES):
+            raise ValueError(
+                "a PerfDecl must grant at least one allowance; a layer "
+                "with no deliberate perf anti-patterns should declare "
+                "no PerfDecl at all"
+            )
+        for cat in _PERF_CATEGORIES:
+            methods = getattr(self, cat)
+            if not isinstance(methods, tuple) or not all(
+                isinstance(m, str) and m for m in methods
+            ):
+                raise ValueError(
+                    f"PerfDecl {cat} must be a tuple of method names, "
+                    f"got {methods!r}"
+                )
+
+
 @dataclass
 class LoopSpec:
     """One parallel loop of a layer's backward pass.
@@ -229,6 +308,14 @@ class Layer:
     #: class whose own methods construct an RNG without declaring where its
     #: seed comes from and when it draws (lint DC006).
     rng_provenance: RNGDecl | None = None
+
+    #: Declared performance allow-list (see :class:`PerfDecl`).  ``None``
+    #: means the layer's chunk code contains no deliberate perf
+    #: anti-patterns; ``repro.analysis.perfcheck`` flags any undeclared
+    #: float64 upcast, hot-loop allocation, contiguity copy, or
+    #: iteration-space-sized Python loop in chunk-reachable code
+    #: (lints PE001-PE004), and flags stale declarations (PE005).
+    perf_decl: PerfDecl | None = None
 
     def __init__(self, spec: LayerSpec) -> None:
         self.spec = spec

@@ -12,7 +12,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.layer import (
+    FootprintDecl,
+    Layer,
+    PerfDecl,
+    register_layer,
+)
 from repro.framework.shape_inference import (
     BlobInfo,
     RuleResult,
@@ -33,6 +38,17 @@ class AccuracyLayer(Layer):
     exact_num_top = 1
 
     write_footprint = FootprintDecl(scratch=("_hits", "_valid"))
+
+    perf_decl = PerfDecl(
+        float64=("forward_chunk",),
+        allocs=("forward_chunk",),
+        note=(
+            "per-sample hit partials are float64 so the finalize fold is "
+            "exact in any chunk order; the per-chunk index/mask vectors "
+            "are O(chunk) int/bool temporaries, far below the pooling "
+            "break-even"
+        ),
+    )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self.top_k = int(self.spec.param("top_k", 1))

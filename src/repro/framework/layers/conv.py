@@ -23,6 +23,7 @@ from repro.framework.fillers import FillerSpec, fill, stable_seed
 from repro.framework.layer import (
     FootprintDecl,
     Layer,
+    PerfDecl,
     REDUCTION,
     RNGDecl,
     register_layer,
@@ -76,6 +77,15 @@ class ConvolutionLayer(Layer):
 
     rng_provenance = RNGDecl(seed_params=("filler_seed",),
                              fallback="stable_digest")
+
+    perf_decl = PerfDecl(
+        loops=("forward_chunk", "backward_chunk"),
+        note=(
+            "one im2col + gemm per coalesced iteration (sample x group) "
+            "is the chunking design, priced as segments dispatch by the "
+            "cost model; the column buffers come from the scratch pool"
+        ),
+    )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec

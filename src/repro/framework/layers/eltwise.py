@@ -7,7 +7,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import Blob
-from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.layer import (
+    FootprintDecl,
+    Layer,
+    PerfDecl,
+    register_layer,
+)
 from repro.framework.shape_inference import (
     BlobInfo,
     RuleResult,
@@ -29,6 +34,15 @@ class EltwiseLayer(Layer):
     exact_num_top = 1
 
     write_footprint = FootprintDecl(scratch=("_argmax",))
+
+    perf_decl = PerfDecl(
+        allocs=("forward_chunk",),
+        note=(
+            "MAX mode stacks a variable-length bottom list before the "
+            "argmax; np.stack over N operands has no fixed-geometry "
+            "pooled equivalent"
+        ),
+    )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         op = str(self.spec.param("operation", "SUM")).upper()

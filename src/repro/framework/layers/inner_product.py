@@ -18,7 +18,13 @@ import numpy as np
 from repro import blaslib
 from repro.framework.blob import Blob
 from repro.framework.fillers import fill, stable_seed
-from repro.framework.layer import FootprintDecl, Layer, RNGDecl, register_layer
+from repro.framework.layer import (
+    FootprintDecl,
+    Layer,
+    PerfDecl,
+    RNGDecl,
+    register_layer,
+)
 from repro.framework.layers.conv import _filler_spec
 from repro.framework.shape_inference import (
     BlobInfo,
@@ -44,6 +50,19 @@ class InnerProductLayer(Layer):
     # rows over samples, weight-grad rows over outputs), so the executed
     # footprint is sample-disjoint despite the generic backward_chunk.
     write_footprint = FootprintDecl()
+
+    perf_decl = PerfDecl(
+        loops=("forward_chunk", "_backward_data_chunk",
+               "_backward_weight_rows"),
+        copies=("_backward_weight_rows",),
+        note=(
+            "one gemv per coalesced iteration is the chunking design "
+            "(priced as segments dispatch by the cost model): per-sample "
+            "in forward/backward-data, per-output-row in backward-weight, "
+            "where the strided dy column is copied contiguous because "
+            "gemv requires a contiguous operand"
+        ),
+    )
 
     rng_provenance = RNGDecl(seed_params=("filler_seed",),
                              fallback="stable_digest")

@@ -17,7 +17,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.layer import (
+    FootprintDecl,
+    Layer,
+    PerfDecl,
+    register_layer,
+)
 from repro.framework.shape_inference import (
     BlobInfo,
     RuleResult,
@@ -67,6 +72,15 @@ class SoftmaxWithLossLayer(LossLayer):
 
     write_footprint = FootprintDecl(
         scratch=("_per_sample", "_prob", "_valid")
+    )
+
+    perf_decl = PerfDecl(
+        allocs=("forward_chunk", "backward_chunk"),
+        note=(
+            "label gathers need an np.arange row index and an "
+            "ignore-label mask per chunk; both are O(chunk) int/bool "
+            "vectors, far below the pooling break-even"
+        ),
     )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
@@ -156,6 +170,14 @@ class EuclideanLossLayer(LossLayer):
     """``loss = 1/(2S) * sum ||x0_s - x1_s||^2`` (Caffe EuclideanLoss)."""
 
     write_footprint = FootprintDecl(scratch=("_per_sample", "_diff"))
+
+    perf_decl = PerfDecl(
+        float64=("forward_chunk",),
+        note=(
+            "per-sample squared-error partials accumulate in float64 so "
+            "the finalize fold is bitwise identical in any chunk order"
+        ),
+    )
 
     def reshape(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         if bottom[0].count != bottom[1].count:

@@ -17,8 +17,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.compiler.scratch import scratch_buffer
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.layer import (
+    FootprintDecl,
+    Layer,
+    PerfDecl,
+    register_layer,
+)
 from repro.framework.shape_inference import (
     BlobInfo,
     RuleResult,
@@ -41,6 +47,16 @@ class LRNLayer(Layer):
     exact_num_top = 1
 
     write_footprint = FootprintDecl(scratch=("_scale",))
+
+    perf_decl = PerfDecl(
+        float64=("forward_chunk", "backward_chunk", "_window_sum"),
+        note=(
+            "window sums accumulate in float64 with a fixed prefix-sum "
+            "order so the normalization scale is bitwise identical for "
+            "any chunking; results are cast back to DTYPE at the blob "
+            "boundary"
+        ),
+    )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec
@@ -73,20 +89,30 @@ class LRNLayer(Layer):
 
     def _window_sum(self, per_channel: np.ndarray) -> np.ndarray:
         """Sliding-window sum over the channel axis (axis 1) with zero
-        padding, window ``local_size`` centered at each channel."""
+        padding, window ``local_size`` centered at each channel.
+
+        Returns a float64 array from the per-thread scratch pool — valid
+        until this thread's next ``_window_sum`` call with the same
+        chunk geometry; callers consume it before then.
+        """
         half = self.local_size // 2
         c = per_channel.shape[1]
-        pad_shape = list(per_channel.shape)
-        pad_shape[1] = c + 2 * half
-        padded = np.zeros(pad_shape, dtype=per_channel.dtype)
+        shape = list(per_channel.shape)
+        shape[1] = c + 2 * half
+        padded = scratch_buffer("lrn.padded", shape, dtype=np.float64)
+        padded.fill(0.0)
         padded[:, half : half + c] = per_channel
         # Prefix sums with a leading zero: ext[:, j] = sum(padded[:, :j]),
         # so the window [i, i + local_size) is ext[i + local_size] - ext[i].
-        csum = np.cumsum(padded, axis=1, dtype=np.float64)
-        zero = np.zeros_like(csum[:, :1])
-        ext = np.concatenate([zero, csum], axis=1)
-        out = ext[:, self.local_size : self.local_size + c] - ext[:, :c]
-        return out.astype(per_channel.dtype)
+        shape[1] = c + 2 * half + 1
+        ext = scratch_buffer("lrn.ext", shape, dtype=np.float64)
+        ext[:, :1] = 0.0
+        np.cumsum(padded, axis=1, dtype=np.float64, out=ext[:, 1:])
+        shape[1] = c
+        win = scratch_buffer("lrn.win", shape, dtype=np.float64)
+        np.subtract(ext[:, self.local_size : self.local_size + c],
+                    ext[:, :c], out=win)
+        return win
 
     def forward_chunk(
         self, bottom: Sequence[Blob], top: Sequence[Blob], lo: int, hi: int

@@ -25,8 +25,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.compiler.scratch import scratch_buffer
 from repro.framework.blob import DTYPE, Blob
-from repro.framework.layer import FootprintDecl, Layer, register_layer
+from repro.framework.layer import (
+    FootprintDecl,
+    Layer,
+    PerfDecl,
+    register_layer,
+)
 from repro.framework.layers.conv import _pair
 from repro.framework.shape_inference import (
     NOTE_SKIPPED_PIXELS,
@@ -62,6 +68,16 @@ class PoolingLayer(Layer):
 
     write_footprint = FootprintDecl(scratch=("_max_idx",))
 
+    perf_decl = PerfDecl(
+        loops=("backward_chunk",),
+        note=(
+            "MAX backward scatter-adds one plane at a time "
+            "(np.add.at per plane): overlapping windows can route to the "
+            "same input cell, and per-plane processing keeps the "
+            "accumulation order independent of chunking"
+        ),
+    )
+
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         spec = self.spec
         method = str(spec.param("pool", "MAX")).upper()
@@ -95,6 +111,12 @@ class PoolingLayer(Layer):
             self._max_idx = np.zeros(
                 (n * c, self.out_h, self.out_w), dtype=np.int64
             )
+            # Window-origin grids for the argmax -> plane-coordinate map,
+            # built once here so forward_chunk never allocates them.
+            self._ih_base = (np.arange(self.out_h)
+                             * self.stride_h)[None, :, None]
+            self._iw_base = (np.arange(self.out_w)
+                             * self.stride_w)[None, None, :]
         else:
             self._ave_divisor = self._divisor_grid()
 
@@ -136,12 +158,10 @@ class PoolingLayer(Layer):
         count = hi - lo
         if count <= 0:
             return
-        if self.method == "MAX":
-            padded = np.full(
-                (count, self.eff_h, self.eff_w), -np.inf, dtype=DTYPE
-            )
-        else:
-            padded = np.zeros((count, self.eff_h, self.eff_w), dtype=DTYPE)
+        padded = scratch_buffer(
+            "pool.fwd", (count, self.eff_h, self.eff_w), DTYPE
+        )
+        padded.fill(-np.inf if self.method == "MAX" else 0.0)
         padded[:, self.pad_h : self.pad_h + self.in_h,
                self.pad_w : self.pad_w + self.in_w] = planes
 
@@ -155,10 +175,8 @@ class PoolingLayer(Layer):
             )
             # Map window-local argmax back to plane-local coordinates.
             wh, ww = np.divmod(arg, self.kernel_w)
-            ih = (np.arange(self.out_h) * self.stride_h)[None, :, None] \
-                + wh - self.pad_h
-            iw = (np.arange(self.out_w) * self.stride_w)[None, None, :] \
-                + ww - self.pad_w
+            ih = self._ih_base + wh - self.pad_h
+            iw = self._iw_base + ww - self.pad_w
             self._max_idx[lo:hi] = ih * self.in_w + iw
         else:
             sums = windows.sum(axis=(3, 4), dtype=DTYPE)
@@ -192,7 +210,10 @@ class PoolingLayer(Layer):
                 np.add.at(flat[p], idx[p], grads[p])
         else:
             contrib = dout / self._ave_divisor[None]
-            padded = np.zeros((count, self.eff_h, self.eff_w), dtype=DTYPE)
+            padded = scratch_buffer(
+                "pool.bwd", (count, self.eff_h, self.eff_w), DTYPE
+            )
+            padded.fill(0.0)
             for kh in range(self.kernel_h):
                 h_stop = kh + self.stride_h * self.out_h
                 for kw in range(self.kernel_w):

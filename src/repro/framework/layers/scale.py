@@ -23,6 +23,7 @@ from repro.framework.layer import (
     FootprintDecl,
     Layer,
     LoopSpec,
+    PerfDecl,
     RNGDecl,
     register_layer,
 )
@@ -81,6 +82,18 @@ class ScaleLayer(_ChannelAffineBase):
 
     rng_provenance = RNGDecl(seed_params=("filler_seed",),
                              fallback="stable_digest")
+
+    perf_decl = PerfDecl(
+        float64=("_backward_param_channels",),
+        copies=("_backward_param_channels",),
+        loops=("_backward_param_channels",),
+        note=(
+            "coefficient gradients accumulate one channel per iteration "
+            "in float64 dot/sum with a fixed order (the bitwise reduction "
+            "contract); the strided per-channel views are copied "
+            "contiguous for the dot"
+        ),
+    )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self._setup_geometry(bottom)
@@ -170,6 +183,15 @@ class BiasLayer(_ChannelAffineBase):
 
     rng_provenance = RNGDecl(seed_params=("filler_seed",),
                              fallback="stable_digest")
+
+    perf_decl = PerfDecl(
+        float64=("_backward_param_channels",),
+        loops=("_backward_param_channels",),
+        note=(
+            "bias gradients accumulate one channel per iteration in a "
+            "fixed-order float64 sum (the bitwise reduction contract)"
+        ),
+    )
 
     def layer_setup(self, bottom: Sequence[Blob], top: Sequence[Blob]) -> None:
         self._setup_geometry(bottom)

@@ -25,7 +25,10 @@ Example::
     python -m repro.tools.bench_fuse --nets lenet --threads 8 --json
 
 The committed ``BENCH_fuse.json`` at the repo root is the output of the
-default invocation on the CI container.
+default invocation on the CI container, in the ``repro-bench/1``
+envelope (see :mod:`repro.bench.schema`).  BLAS thread pools are pinned
+to 1 before numpy loads (see :mod:`repro.bench.pinning`); export one of
+the ``*_NUM_THREADS`` variables to override.
 """
 
 from __future__ import annotations
@@ -35,16 +38,22 @@ import json
 import sys
 import time
 
-import numpy as np
+from repro.bench.pinning import pin_blas_threads
 
-from repro.analysis.plancheck import plan_spec
-from repro.compiler.arena import apply_arena, plan_arena
-from repro.compiler.fuse import fuse_spec
-from repro.compiler.scratch import pool_stats, reset_pool_stats
-from repro.core import ParallelExecutor
-from repro.framework.net import Net
+#: Must run before the numpy-importing repro imports below, or the BLAS
+#: pools have already sized themselves from the ambient environment.
+_BLAS_PIN = pin_blas_threads()
 
-BENCH_FORMAT = "repro-bench-fuse/1"
+import numpy as np  # noqa: E402
+
+from repro.analysis.plancheck import plan_spec  # noqa: E402
+from repro.bench.schema import dump_bench, envelope  # noqa: E402
+from repro.compiler.arena import apply_arena, plan_arena  # noqa: E402
+from repro.compiler.fuse import fuse_spec  # noqa: E402
+from repro.compiler.scratch import pool_stats, reset_pool_stats  # noqa: E402
+from repro.core import ParallelExecutor  # noqa: E402
+from repro.framework.net import Net  # noqa: E402
+
 DEFAULT_NETS = ("lenet", "cifar10", "mlp")
 DEFAULT_THREADS = (1, 2, 8)
 
@@ -177,13 +186,19 @@ def main(argv=None) -> int:
     nets = [n for n in args.nets.split(",") if n]
     threads = [int(t) for t in args.threads.split(",") if t]
 
-    result = {"format": BENCH_FORMAT, "nets": {}}
+    per_net = {}
     for name in nets:
         print(f"benchmarking {name} (iters={args.iters}, "
               f"warmup={args.warmup}) ...")
-        result["nets"][name] = bench_net(
+        per_net[name] = bench_net(
             name, threads, args.iters, args.warmup, log=print
         )
+    result = envelope(
+        kind="fuse",
+        timer={"iters": args.iters, "warmup": args.warmup,
+               "clock": "perf_counter", "blas": _BLAS_PIN},
+        nets=per_net,
+    )
 
     mismatches = [
         (name, team)
@@ -192,9 +207,7 @@ def main(argv=None) -> int:
         if not entry["bitwise_match"]
     ]
     if args.out:
-        with open(args.out, "w") as handle:
-            json.dump(result, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        dump_bench(result, args.out)
         print(f"report written to {args.out}")
     if args.json:
         print(json.dumps(result, indent=2, sort_keys=True))

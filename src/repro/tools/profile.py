@@ -7,6 +7,11 @@ comparison.
 Example::
 
     python -m repro.tools.profile --net lenet --threads 2 --iters 3
+
+BLAS thread pools are pinned to 1 before numpy loads (see
+:mod:`repro.bench.pinning`) so the measured breakdown reflects only the
+coarse-grain thread team; export one of the ``*_NUM_THREADS`` variables
+to override.
 """
 
 from __future__ import annotations
@@ -14,11 +19,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import ParallelExecutor, TracingExecutor
-from repro.framework.solvers.base import SequentialExecutor
-from repro.simulator import CPUModel, net_costs
-from repro.simulator.report import format_table, layer_scalability_table
-from repro.zoo import build_net
+from repro.bench.pinning import pin_blas_threads
+
+#: Must run before the numpy-importing repro imports below.
+_BLAS_PIN = pin_blas_threads()
+
+from repro.core import ParallelExecutor, TracingExecutor  # noqa: E402
+from repro.framework.solvers.base import SequentialExecutor  # noqa: E402
+from repro.simulator import CPUModel, net_costs  # noqa: E402
+from repro.simulator.report import (  # noqa: E402
+    format_table,
+    layer_scalability_table,
+)
+from repro.zoo import build_net  # noqa: E402
 
 
 def main(argv=None) -> int:

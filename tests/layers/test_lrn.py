@@ -76,6 +76,45 @@ class TestBackward:
         check_gradient(layer, bottom, [Blob()], step=1e-2, threshold=2e-2)
 
 
+class TestScratchRouting:
+    """The float64 window sums run through the pooled scratch buffers
+    (PerfDecl: no per-chunk allocation), so results must stay bitwise
+    stable across pool reuse and any chunking."""
+
+    def test_forward_bitwise_stable_across_pool_reuse(self, rng):
+        layer = lrn_layer()
+        bottom = [make_blob((3, 6, 4, 4), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        first = top[0].data.copy()
+        # dirty the pool with a different geometry, then recompute
+        other = lrn_layer()
+        other_bottom = [make_blob((2, 8, 3, 3), rng=rng)]
+        other_top = [Blob()]
+        other.setup(other_bottom, other_top)
+        other.forward(other_bottom, other_top)
+        top[0].zero_data()
+        layer.forward(bottom, top)
+        assert np.array_equal(top[0].data, first)
+
+    def test_backward_chunked_equals_full(self, rng):
+        layer = lrn_layer()
+        bottom = [make_blob((4, 6, 3, 3), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        top[0].flat_diff[:] = rng.standard_normal(top[0].data.size)
+        layer.backward(top, [True], bottom)
+        full = bottom[0].diff.copy()
+        bottom[0].zero_diff()
+        space = layer.backward_space(top, bottom)
+        for lo in range(0, space, 3):
+            layer.backward_chunk(top, [True], bottom, lo,
+                                 min(lo + 3, space), [])
+        assert np.array_equal(bottom[0].diff, full)
+
+
 class TestValidation:
     def test_even_local_size(self):
         with pytest.raises(ValueError, match="odd"):

@@ -153,6 +153,48 @@ class TestBackward:
         assert np.allclose(bottom[0].flat_diff, 1.0)
 
 
+class TestScratchRouting:
+    """The padded planes run through the pooled scratch buffers
+    (PerfDecl: no per-chunk allocation), so results must stay bitwise
+    stable across pool reuse and any chunking."""
+
+    @pytest.mark.parametrize("method", ["MAX", "AVE"])
+    def test_forward_bitwise_stable_across_pool_reuse(self, rng, method):
+        layer = pool_layer(pool=method, kernel_size=3, stride=2, pad=1)
+        bottom = [make_blob((2, 3, 6, 6), rng=rng)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        first = top[0].data.copy()
+        # dirty the pool with a different geometry, then recompute
+        other = pool_layer(pool=method, kernel_size=2, stride=2)
+        other_bottom = [make_blob((1, 2, 8, 8), rng=rng)]
+        other_top = [Blob()]
+        other.setup(other_bottom, other_top)
+        other.forward(other_bottom, other_top)
+        top[0].zero_data()
+        layer.forward(bottom, top)
+        assert np.array_equal(top[0].data, first)
+
+    @pytest.mark.parametrize("method", ["MAX", "AVE"])
+    def test_backward_chunked_equals_full(self, rng, method):
+        layer = pool_layer(pool=method, kernel_size=3, stride=2, pad=1)
+        values = rng.permutation(3 * 2 * 6 * 6).astype(np.float32)
+        bottom = [make_blob((3, 2, 6, 6), values=values)]
+        top = [Blob()]
+        layer.setup(bottom, top)
+        layer.forward(bottom, top)
+        top[0].flat_diff[:] = rng.standard_normal(top[0].data.size)
+        layer.backward(top, [True], bottom)
+        full = bottom[0].diff.copy()
+        bottom[0].zero_diff()
+        space = layer.backward_space(top, bottom)
+        for lo in range(0, space, 2):
+            layer.backward_chunk(top, [True], bottom, lo,
+                                 min(lo + 2, space), [])
+        assert np.array_equal(bottom[0].diff, full)
+
+
 class TestValidation:
     def test_unknown_method(self):
         with pytest.raises(ValueError, match="pool method"):

@@ -57,6 +57,39 @@ class TestBuildingBlocks:
             model.layer_time(synthetic_cost(), 0)
 
 
+class TestEdgeCases:
+    """Degenerate inputs the planner and perfcheck may hand the model."""
+
+    def test_threads_beyond_cores(self, model):
+        """Oversubscription must not crash or predict negative time."""
+        t = model.layer_time(synthetic_cost(), 32)
+        assert t > 0
+        # the NUMA discount keeps the gain over the full machine mild
+        assert t > model.layer_time(synthetic_cost(), 16) / 4
+
+    def test_zero_flop_layer(self, model):
+        """A pure data-movement pass is priced by memory + dispatch."""
+        cost = synthetic_cost(flops=0.0)
+        t1 = model.layer_time(cost, 1)
+        t8 = model.layer_time(cost, 8)
+        assert t1 > 0
+        assert 0 < t8 < t1
+
+    def test_empty_iteration_space(self, model):
+        """space=0 (nothing chunkable) degrades to serial + fork-join."""
+        cost = synthetic_cost(space=0, segments=0)
+        t1 = model.layer_time(cost, 1)
+        t8 = model.layer_time(cost, 8)
+        assert t1 > 0
+        assert t8 >= t1  # threads only add overhead
+
+    def test_bandwidth_monotone_nondecreasing_past_cores(self, model):
+        bws = [model.dram_bandwidth(t) for t in range(1, 33)]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+        # saturates: the last doubling buys no bandwidth
+        assert bws[31] == bws[15]
+
+
 class TestLayerBehaviours:
     def test_serial_layer_never_speeds_up(self, model):
         cost = synthetic_cost(serial=True, dist="serial", type="Data")

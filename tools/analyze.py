@@ -7,6 +7,7 @@ Thin wrapper so every analysis can be run straight from a checkout::
     python tools/analyze.py detcheck --net lenet --threads 1,2,8 --gate
     python tools/analyze.py rescheck --net lenet --threads 1,2,8 --gate
     python tools/analyze.py synccheck --net lenet --threads 1,2,8 --gate
+    python tools/analyze.py perfcheck --gate --static-only
     python tools/analyze.py --list-codes
 
 Flag mode runs the parallel-safety analyzer (static write-footprint
@@ -28,8 +29,12 @@ and fused-vs-unfused bitwise replay certification (FU201/FU202).  The
 barrier-protocol static lint (SY001-SY006), seeded-defect
 certification of the interleaving model checker (SY201/SY202), and
 CHESS-style bounded model checking of each zoo net's training
-iteration (SY101-SY104).
-``--list-codes`` prints the full FP/RT/NG/DC/RS/PL/FU/SY catalogue;
+iteration (SY101-SY104).  The ``perfcheck`` subcommand runs the
+performance certifier: static performance-bug lint against per-layer
+PerfDecl allow-lists (PE001-PE005), roofline classification
+(PE101/PE102), and cost-model calibration with a per-layer-type
+residual gate (PE201-PE203).
+``--list-codes`` prints the full FP/RT/NG/DC/RS/PL/FU/SY/PE catalogue;
 ``--check-codes`` verifies catalogue/source agreement.
 Equivalent to ``PYTHONPATH=src python -m repro.analysis``.
 """
