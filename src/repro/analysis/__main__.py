@@ -129,9 +129,31 @@ executor at each team size with BLAS pools pinned, compared against
 wall-clock gating would flake; ``--bench-out`` writes the calibration
 run as ``BENCH_perf.json`` in the ``repro-bench/1`` envelope.
 
-``--list-codes`` (any mode) prints the full FP/RT/NG/DC/RS/PL/FU/SY/PE
-catalogue; ``--check-codes`` (any mode) fails when the catalogue and
-the analyzer sources disagree about which codes exist.
+Subcommand mode (serving certifier)::
+
+    python -m repro.analysis servecheck --net lenet --threads 1,2 --gate
+    python -m repro.analysis servecheck --static-only --json
+    python -m repro.analysis servecheck --requests 200 \\
+        --trace-out serve_trace.json
+
+``servecheck`` runs the static serve-path lint over
+:mod:`repro.serve` (SV001-SV005: unbounded queues, unbounded waits,
+synccheck's lock rules re-applied, wall-clock reads outside the clock
+module, swallowed exceptions), then — unless ``--static-only`` —
+replays a deterministic request trace per (net, team width) on a
+virtual clock, twice: healthy (every request must come back ``ok``
+and bitwise equal to sequential ``Net.forward`` of the identical
+staged batch) and under chaos (an injected worker crash, straggler
+chunk, poisoned NaN sample, request storm past admission capacity,
+and a mid-trace hot reload), gating on zero lost (SV101), zero
+duplicated (SV102) responses, bitwise output parity (SV103), and the
+degradation protocol (SV104: quarantined poison, no late ``ok``,
+restart exercised).
+
+``--list-codes`` (any mode) prints the full
+FP/RT/NG/DC/RS/PL/FU/SY/PE/SV catalogue; ``--check-codes`` (any mode)
+fails when the catalogue and the analyzer sources disagree about which
+codes exist.
 """
 
 from __future__ import annotations
@@ -900,6 +922,84 @@ def perfcheck_main(argv) -> int:
     return 0
 
 
+def servecheck_main(argv) -> int:
+    from repro.analysis.servecheck import (
+        DEFAULT_NETS,
+        DEFAULT_REQUESTS,
+        DEFAULT_THREADS,
+        run_servecheck,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis servecheck",
+        description="Serving certifier: static serve-path lint "
+                    "(SV001-SV005) plus deterministic healthy + chaos "
+                    "trace replays per (net, team width) gating on zero "
+                    "lost / zero duplicated responses, bitwise output "
+                    "parity with sequential Net.forward, and the coded "
+                    "degradation protocol (SV101-SV105).",
+    )
+    parser.add_argument(
+        "--net", action="append", default=[], metavar="NAME",
+        help="zoo network to certify serving for (repeatable; default: "
+             f"{', '.join(DEFAULT_NETS)})",
+    )
+    parser.add_argument(
+        "--threads", type=_parse_threads,
+        default=list(DEFAULT_THREADS), metavar="N,N,...",
+        help="team widths to certify at (default: "
+             f"{','.join(map(str, DEFAULT_THREADS))})",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=DEFAULT_REQUESTS, metavar="N",
+        help="trace length per replay (default: "
+             f"{DEFAULT_REQUESTS}; the chaos storm adds more)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="trace seed (default: 0)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="save the generated request trace as repro-trace/1 JSON",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="run only the static serve-path lint (SV001-SV005)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full machine-readable report as JSON",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero on any ERROR finding",
+    )
+    args = parser.parse_args(argv)
+
+    if args.requests < 3:
+        parser.error(f"--requests must be >= 3, got {args.requests}")
+
+    report = run_servecheck(
+        nets=args.net or DEFAULT_NETS,
+        threads=args.threads,
+        requests=args.requests,
+        seed=args.seed,
+        static_only=args.static_only,
+        trace_out=args.trace_out,
+    )
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
 def _zoo_factory(name: str, batch: int) -> Callable[[], object]:
     def build():
         from repro.data import register_default_sources
@@ -969,6 +1069,8 @@ def main(argv=None) -> int:
         return synccheck_main(argv[1:])
     if argv and argv[0] == "perfcheck":
         return perfcheck_main(argv[1:])
+    if argv and argv[0] == "servecheck":
+        return servecheck_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

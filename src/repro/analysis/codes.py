@@ -1,6 +1,6 @@
 """The coded-finding catalogue of the analysis suite.
 
-Eight passes, nine code families, one place that names them all:
+Nine passes, ten code families, one place that names them all:
 
 * **FP/RT** — parallel-safety analyzer (PR 1): write-footprint
   classification and runtime-invariant lint.
@@ -27,6 +27,14 @@ Eight passes, nine code families, one place that names them all:
   ``PerfDecl`` allow-lists, a roofline classifier over the cost model,
   and wall-clock calibration of ``CPUModel.layer_time`` against traced
   zoo runs.
+* **SV** — serving certifier (PR 10): static robustness lint over the
+  ``repro.serve`` path (bounded-queue discipline, unbounded waits,
+  wall-clock reads outside the injected clock, swallowed exceptions,
+  synccheck's lock rules re-applied) and dynamic chaos certification —
+  a recorded request trace replayed in virtual time under injected
+  worker crashes, straggler chunks, poisoned samples and request
+  storms, gating on zero lost/duplicated responses and bitwise parity
+  of every served output against sequential ``Net.forward``.
 
 ``python -m repro.analysis --list-codes`` prints this table.  Codes are
 stable identifiers: CI configs and suppression lists may reference them,
@@ -315,6 +323,46 @@ CODE_CATALOGUE: Dict[str, Tuple[str, str, str]] = {
               "noisy timing sample (MAD/median above threshold or "
               "below the timer noise floor); layer excluded from the "
               "calibration fit"),
+    # ---- serving certifier: static serve-path lint ----
+    "SV001": ("servecheck", "error",
+              "bounded-queue discipline violated in the serve path: a "
+              "queue.Queue (unbounded growth) or deque(maxlen=...) "
+              "(silent far-end drops) constructed instead of the "
+              "reject-loudly BoundedDeque"),
+    "SV002": ("servecheck", "error",
+              "unbounded blocking call in the serve path (.wait()/"
+              ".join() with no timeout): a stalled peer freezes the "
+              "serving thread forever"),
+    "SV003": ("servecheck", "error",
+              "synccheck lock-discipline violation in the serve path "
+              "(the SY001-SY006 static rules re-applied to repro.serve; "
+              "the original SY code is named in the message)"),
+    "SV004": ("servecheck", "error",
+              "wall-clock read outside the injected-clock module: "
+              "time/datetime used directly, so deadlines cannot be "
+              "replayed in virtual time"),
+    "SV005": ("servecheck", "error",
+              "exception swallowed silently in the serve path (bare "
+              "except, or a handler that only passes): a fault must "
+              "become a coded response, not vanish"),
+    # ---- serving certifier: dynamic chaos certification ----
+    "SV101": ("servecheck", "error",
+              "lost response: a submitted request finished the trace "
+              "replay with no delivered response"),
+    "SV102": ("servecheck", "error",
+              "duplicated response: more than one response reached the "
+              "client for a single request id (idempotent delivery "
+              "broken, e.g. by a crash-replay)"),
+    "SV103": ("servecheck", "error",
+              "served output differs bitwise from direct sequential "
+              "Net.forward on the identical staged batch"),
+    "SV104": ("servecheck", "error",
+              "deadline/degradation violation: a healthy-regime replay "
+              "produced non-ok responses, or an 'ok' response was "
+              "delivered after its request's deadline"),
+    "SV105": ("servecheck", "info",
+              "chaos certification summary (responses by status, team "
+              "restarts, reloads, sheds, duplicates suppressed)"),
 }
 
 
@@ -330,7 +378,7 @@ def source_code_references() -> Dict[str, List[str]]:
     import os
     import re
 
-    pattern = re.compile(r"\b(?:FP|RT|NG|DC|RS|PL|FU|SY|PE)\d{3}\b")
+    pattern = re.compile(r"\b(?:FP|RT|NG|DC|RS|PL|FU|SY|PE|SV)\d{3}\b")
     pkg = os.path.dirname(os.path.abspath(__file__))
     refs: Dict[str, List[str]] = {}
     for fname in sorted(os.listdir(pkg)):
@@ -362,7 +410,7 @@ def catalogue_lines() -> List[str]:
     lines = [f"{len(CODE_CATALOGUE)} finding codes "
              "(FP/RT: parallel-safety, NG: netcheck, DC: detcheck, "
              "RS: rescheck, PL: plancheck, FU: fusecheck, "
-             "SY: synccheck, PE: perfcheck)"]
+             "SY: synccheck, PE: perfcheck, SV: servecheck)"]
     for code, (pass_name, severity, desc) in sorted(CODE_CATALOGUE.items()):
         lines.append(f"  {code}  {pass_name:<10} {severity:<8} {desc}")
     return lines

@@ -1,14 +1,15 @@
 """The ``repro-bench/1`` envelope: one versioned schema for BENCH files.
 
 ``BENCH_plan.json`` (planner speedups), ``BENCH_fuse.json`` (compiler
-speedups), and ``BENCH_perf.json`` (cost-model calibration) form the
-repo's wall-clock regression trajectory — CI diffs successive runs, so
+speedups), ``BENCH_perf.json`` (cost-model calibration), and
+``BENCH_serve.json`` (serving latency/throughput, healthy vs chaos)
+form the repo's wall-clock regression trajectory — CI diffs successive runs, so
 the files must say *where* and *how* they were measured, not just what.
 Every file is one envelope::
 
     {
       "format":  "repro-bench/1",
-      "kind":    "plan" | "fuse" | "perf",
+      "kind":    "plan" | "fuse" | "perf" | "serve",
       "host":    {platform, machine, processor, python, numpy, cpus},
       "git_rev": "<short rev>" | null,
       "timer":   {iters, warmup, clock, blas: {<pin vars>,
@@ -48,7 +49,14 @@ _ENTRY_KEYS = {
     "fuse": ("uniform_us_per_iter", "planned_us_per_iter",
              "fused_us_per_iter", "bitwise_match"),
     "perf": ("scale", "layers"),
+    "serve": ("healthy", "chaos"),
 }
+
+#: Keys every per-regime serving record (kind == "serve") must carry.
+_SERVE_REGIME_KEYS = (
+    "requests", "lost", "duplicated", "statuses",
+    "p50_ms", "p90_ms", "p99_ms", "throughput_rps",
+)
 
 #: Keys every per-layer calibration record (kind == "perf") must carry.
 _PERF_LAYER_KEYS = ("measured_us", "predicted_us", "residual", "noisy")
@@ -159,6 +167,14 @@ def validate_bench(doc: object) -> Dict[str, object]:
             for key in _ENTRY_KEYS[kind]:
                 if key not in entry:
                     _fail(f"{where} missing key {key!r}")
+            if kind == "serve":
+                for regime in _ENTRY_KEYS["serve"]:
+                    record = entry[regime]
+                    if not isinstance(record, dict):
+                        _fail(f"{where}.{regime} must be an object")
+                    for key in _SERVE_REGIME_KEYS:
+                        if key not in record:
+                            _fail(f"{where}.{regime} missing key {key!r}")
             if kind == "perf":
                 layers = entry["layers"]
                 if not isinstance(layers, dict) or not layers:

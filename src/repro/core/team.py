@@ -275,8 +275,16 @@ class ThreadTeam:
         self._shutdown = False
         self._last_sync: List[Optional[str]] = [None] * num_threads
         self._master_ident: Optional[int] = threading.get_ident()
+        # Guards the shutdown/restart lifecycle transitions only; never
+        # held across a barrier wait or a join (those block), so the
+        # watchdog thread can call shutdown() without deadlocking the
+        # team it is supervising.
+        self._lifecycle_lock = threading.Lock()
         self._workers: List[threading.Thread] = []
-        for tid in range(1, num_threads):
+        self._spawn_workers()
+
+    def _spawn_workers(self) -> None:
+        for tid in range(1, self.num_threads):
             worker = threading.Thread(
                 target=self._worker_loop, args=(tid,),
                 name=f"team-worker-{tid}", daemon=True,
@@ -488,17 +496,54 @@ class ThreadTeam:
     # lifecycle
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
-        """Stop and join the worker threads (idempotent)."""
-        if self._shutdown or self.num_threads == 1:
+        """Stop and join the worker threads.
+
+        Idempotent and safe to call from a thread other than the master
+        (e.g. a supervisor/watchdog thread reacting to an aborted
+        region): the lifecycle transition is claimed under a lock, so a
+        second concurrent call returns immediately instead of double-
+        releasing the start barrier; the barrier wait and the joins
+        themselves happen outside the lock.
+        """
+        with self._lifecycle_lock:
+            already_down = self._shutdown
             self._shutdown = True
+            workers, self._workers = self._workers, []
+        if already_down or not workers:
             self._release_dead_pool_states()
             return
-        self._shutdown = True
         self.sync.barrier_wait(self, 0, "start")
-        for tid, worker in enumerate(self._workers, start=1):
+        for tid, worker in enumerate(workers, start=1):
             self.sync.join_worker(self, tid, worker)
-        self._workers.clear()
         self._release_dead_pool_states()
+
+    def restart(self) -> None:
+        """Shut down (if still running) and respawn a fresh worker pool.
+
+        Reuses the team's configuration (size, sync backend, watchdog)
+        but replaces every synchronization primitive, so a team whose
+        region aborted — even one whose barriers were broken — comes
+        back ready for :meth:`parallel`.  This is the supervisor hook:
+        after a worker crash the serve runtime calls ``restart()`` and
+        replays the in-flight batch on the new pool.
+        """
+        self.shutdown()
+        with self._lifecycle_lock:
+            if not self._shutdown:
+                return  # a concurrent restart already won the race
+            self._barrier = threading.Barrier(self.num_threads)
+            self._start = threading.Barrier(self.num_threads)
+            self._finish = threading.Barrier(self.num_threads)
+            self._critical_lock = threading.Lock()
+            self._ordered_turn = {
+                "cond": threading.Condition(), "next": 0, "aborted": False,
+            }
+            self._region_fn = None
+            self._errors = [None] * self.num_threads
+            self._last_sync = [None] * self.num_threads
+            self._master_ident = threading.get_ident()
+            self._shutdown = False
+            self._spawn_workers()
 
     @staticmethod
     def _release_dead_pool_states() -> None:

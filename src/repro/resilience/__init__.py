@@ -29,11 +29,16 @@ from repro.resilience.checkpoint import (
     save_checkpoint,
 )
 from repro.resilience.faults import (
+    BarrierSkip,
     ChunkAbort,
     FaultPlan,
     InjectedFault,
     LayerRaise,
+    LockOrderInversion,
     NaNBlob,
+    PoisonSample,
+    RequestStorm,
+    SlowChunk,
     corrupt_checkpoint,
     inject,
     truncate_checkpoint,
@@ -49,12 +54,17 @@ from repro.resilience.guards import (
 )
 
 __all__ = [
+    "BarrierSkip",
     "CHECKPOINT_VERSION",
     "CheckpointCorrupt",
     "CheckpointError",
     "CheckpointFormatError",
     "CheckpointMismatch",
     "ChunkAbort",
+    "LockOrderInversion",
+    "PoisonSample",
+    "RequestStorm",
+    "SlowChunk",
     "FaultPlan",
     "GUARD_POLICIES",
     "GuardEvent",

@@ -159,7 +159,16 @@ def read_container(path: str) -> bytes:
             "so resuming from it would silently fork the trajectory; "
             "re-create it with the current save_state/save_checkpoint"
         )
-    if len(blob) < _HEADER.size or blob[:4] != MAGIC:
+    if len(blob) < _HEADER.size:
+        # Zero-length and header-truncated files must never surface as a
+        # bare struct.error/EOFError from the unpack below: name the path
+        # and the byte count so a torn write is diagnosable at a glance.
+        raise CheckpointFormatError(
+            f"{path!r} is truncated before the checkpoint header ends: the "
+            f"file holds {len(blob)} byte(s) but the {MAGIC!r} versioned "
+            f"header alone is {_HEADER.size} bytes"
+        )
+    if blob[:4] != MAGIC:
         raise CheckpointFormatError(
             f"{path!r} is not a checkpoint container (bad magic); expected "
             f"the {MAGIC!r} versioned header"

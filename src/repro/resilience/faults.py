@@ -32,6 +32,13 @@ Fault classes:
   :class:`FaultPlan` so seeded-defect certification shares the one
   fault vocabulary, but :func:`inject` ignores them (there is no layer
   or iteration to patch).
+* :class:`RequestStorm` / :class:`SlowChunk` / :class:`PoisonSample` —
+  *serve-level* defect descriptors consumed by the servecheck chaos
+  harness (:mod:`repro.serve.chaos`): an overload burst, a straggler
+  chunk stall, and a NaN-poisoned client payload, replayed
+  deterministically against the inference service.  Like the
+  schedule-level descriptors they ride in a :class:`FaultPlan` (one
+  fault vocabulary) and are ignored by :func:`inject`.
 * :func:`corrupt_checkpoint` / :func:`truncate_checkpoint` — damage a
   checkpoint file deterministically (seeded byte flips / truncation) to
   exercise the CRC-32 and header verification paths.
@@ -96,6 +103,46 @@ class ChunkAbort:
 
 
 @dataclass(frozen=True)
+class RequestStorm:
+    """Seeded *serve-level* defect descriptor: when trace replay reaches
+    request index ``at_request``, submit ``count`` extra back-to-back
+    requests (an overload burst).  Interpreted by the servecheck chaos
+    harness (:mod:`repro.serve.chaos`), never by :func:`inject` — the
+    certification gate requires every storm request to receive a coded
+    shed/timeout/ok response, i.e. overload degrades loudly, not by
+    dropping work on the floor."""
+
+    at_request: int
+    count: int = 8
+
+
+@dataclass(frozen=True)
+class SlowChunk:
+    """Seeded serve-level defect descriptor: the first chunk of layer
+    ``layer`` in served batch ``batch`` stalls for ``delay_s`` seconds
+    (a straggler thread / cold page / noisy neighbour).  Interpreted by
+    the servecheck chaos harness, which injects the stall through the
+    serve runtime's *injected clock*, so certification replays it in
+    virtual time.  Never consumed by :func:`inject`."""
+
+    layer: str
+    batch: int
+    delay_s: float = 0.05
+
+
+@dataclass(frozen=True)
+class PoisonSample:
+    """Seeded serve-level defect descriptor: the sample of trace request
+    index ``request`` is replaced with NaNs before submission (a
+    malformed client payload).  The serve runtime's admission sentinels
+    must quarantine exactly that request with a coded response while the
+    rest of its batch is served bit-exact.  Interpreted by the
+    servecheck chaos harness, never by :func:`inject`."""
+
+    request: int
+
+
+@dataclass(frozen=True)
 class LockOrderInversion:
     """Seeded synchronization defect: inside one parallel region, even
     threads run ``ordered(critical(...))`` while odd threads run
@@ -123,10 +170,13 @@ class FaultPlan:
     def __init__(self, *faults, seed: int = 0) -> None:
         for fault in faults:
             if not isinstance(fault, (NaNBlob, LayerRaise, ChunkAbort,
-                                      LockOrderInversion, BarrierSkip)):
+                                      LockOrderInversion, BarrierSkip,
+                                      RequestStorm, SlowChunk,
+                                      PoisonSample)):
                 raise TypeError(
                     f"FaultPlan entries must be NaNBlob / LayerRaise / "
-                    f"ChunkAbort / LockOrderInversion / BarrierSkip, "
+                    f"ChunkAbort / LockOrderInversion / BarrierSkip / "
+                    f"RequestStorm / SlowChunk / PoisonSample, "
                     f"got {type(fault).__name__}"
                 )
         self.faults: Tuple = faults

@@ -1,0 +1,134 @@
+"""Chaos harness: FaultPlan descriptors applied to a live server.
+
+The serve-side counterpart of :func:`repro.resilience.faults.inject`.
+It interprets, deterministically, the descriptors a training-side
+injector ignores:
+
+* :class:`~repro.resilience.faults.ChunkAbort` — ``iteration`` is read
+  as the *served batch index*: the first chunk of the named layer in
+  that batch raises :class:`InjectedFault` once, killing the worker
+  team mid-batch (the engine must restart the team and replay the
+  batch exactly once).
+* :class:`~repro.resilience.faults.SlowChunk` — the named layer's first
+  chunk of the given batch stalls ``delay_s`` seconds *through the
+  engine's injected clock*, so a straggler replays identically in
+  virtual time.
+* :class:`~repro.resilience.faults.PoisonSample` — the given trace
+  request's sample is overwritten with NaNs before submission.
+* :class:`~repro.resilience.faults.RequestStorm` — when the trace
+  reaches ``at_request``, ``count`` extra back-to-back requests are
+  submitted (overload burst; admission must shed with codes).
+
+Patches live in layer instance dicts (shadowing the class methods) and
+are removed on exit, exactly like the training injector.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Iterator, List, Set, Tuple
+
+import numpy as np
+
+from repro.resilience.faults import (
+    ChunkAbort,
+    FaultPlan,
+    InjectedFault,
+    PoisonSample,
+    RequestStorm,
+    SlowChunk,
+)
+from repro.serve.engine import InferenceEngine
+
+
+class ChaosHarness:
+    """Arms serve-level FaultPlan descriptors on one engine."""
+
+    def __init__(self, engine: InferenceEngine, plan: FaultPlan) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.storms: Dict[int, int] = {}
+        self.poisoned: Set[int] = set()
+        self._patched: List[Tuple[object, str]] = []
+        self._fired: Set[object] = set()
+        self._fire_lock = threading.Lock()
+        for fault in plan:
+            if isinstance(fault, RequestStorm):
+                self.storms[fault.at_request] = (
+                    self.storms.get(fault.at_request, 0) + fault.count
+                )
+            elif isinstance(fault, PoisonSample):
+                self.poisoned.add(fault.request)
+
+    # -- trace-side hooks ---------------------------------------------
+    def poison_sample(self, index: int, sample: np.ndarray) -> np.ndarray:
+        if index in self.poisoned:
+            return np.full_like(sample, np.nan)
+        return sample
+
+    def storm_count(self, index: int) -> int:
+        return self.storms.get(index, 0)
+
+    # -- engine-side patches ------------------------------------------
+    def _fires_now(self, fault, batch: int) -> bool:
+        """True exactly once, on the first chunk of the target batch."""
+        if self.engine.batches_executed != batch:
+            return False
+        with self._fire_lock:
+            if fault in self._fired:
+                return False
+            self._fired.add(fault)
+            return True
+
+    def _patch_abort(self, fault: ChunkAbort) -> None:
+        layer = self.engine.net.layer(fault.layer)
+        original = layer.forward_chunk
+        harness = self
+
+        def patched(bottom, top, lo, hi):
+            if harness._fires_now(fault, fault.iteration):
+                raise InjectedFault(
+                    f"chaos: worker crash in layer {fault.layer!r} "
+                    f"[{lo}:{hi}] during served batch {fault.iteration}"
+                )
+            return original(bottom, top, lo, hi)
+
+        layer.forward_chunk = patched
+        self._patched.append((layer, "forward_chunk"))
+
+    def _patch_slow(self, fault: SlowChunk) -> None:
+        layer = self.engine.net.layer(fault.layer)
+        original = layer.forward_chunk
+        harness = self
+
+        def patched(bottom, top, lo, hi):
+            if harness._fires_now(fault, fault.batch):
+                harness.engine.clock.sleep(fault.delay_s)
+            return original(bottom, top, lo, hi)
+
+        layer.forward_chunk = patched
+        self._patched.append((layer, "forward_chunk"))
+
+    def install(self) -> None:
+        for fault in self.plan:
+            if isinstance(fault, ChunkAbort):
+                self._patch_abort(fault)
+            elif isinstance(fault, SlowChunk):
+                self._patch_slow(fault)
+
+    def uninstall(self) -> None:
+        for layer, method in self._patched:
+            layer.__dict__.pop(method, None)
+        self._patched.clear()
+
+
+@contextlib.contextmanager
+def chaos(engine: InferenceEngine, plan: FaultPlan) -> Iterator[ChaosHarness]:
+    """Context manager: arm the serve-level faults, disarm on exit."""
+    harness = ChaosHarness(engine, plan)
+    harness.install()
+    try:
+        yield harness
+    finally:
+        harness.uninstall()

@@ -1,0 +1,209 @@
+"""Pending-request table: deadlines, eviction, idempotent delivery.
+
+The PiCN-style pending-interest table adapted to inference serving:
+every admitted request parks here until exactly one coded response is
+delivered for it.  Three invariants, each load-bearing for the
+servecheck certification gate:
+
+* **Single delivery** — :meth:`PendingRequestTable.deliver` is
+  idempotent: the first response for a request id wins, every later
+  attempt is suppressed and counted (``duplicates_suppressed``).  This
+  is what makes crash-replay safe: if a worker team dies mid-batch and
+  the supervisor replays the batch, a straggling first attempt can
+  never double-answer a client (SV102).
+* **Deadline eviction** — :meth:`evict_expired` walks a
+  ``(deadline, seq)`` min-heap and delivers a coded ``timeout``
+  response to every request whose deadline has passed; eviction order
+  is deadline order, ties broken by arrival sequence.
+* **No unbounded growth** — delivered-id memory (the duplicate
+  suppressor) is a bounded LRU; heap nodes for delivered entries are
+  dropped lazily on pop.
+
+All waits on the client side go through :class:`Handle`, whose
+``result()`` requires an explicit timeout (SV002: no unbounded blocking
+in the serve path).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+from repro.serve.request import (
+    STATUS_TIMEOUT,
+    InferenceRequest,
+    InferenceResponse,
+)
+
+
+class _Entry:
+    """One pending request: the heap node and the client's rendezvous."""
+
+    __slots__ = ("request", "seq", "event", "response", "delivered")
+
+    def __init__(self, request: InferenceRequest, seq: int) -> None:
+        self.request = request
+        self.seq = seq
+        self.event = threading.Event()
+        self.response: Optional[InferenceResponse] = None
+        self.delivered = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return (self.request.deadline, self.seq) < (
+            other.request.deadline, other.seq
+        )
+
+
+class Handle:
+    """Client-side future for one request's single response."""
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    @property
+    def request_id(self) -> str:
+        return self._entry.request.request_id
+
+    @property
+    def done(self) -> bool:
+        return self._entry.event.is_set()
+
+    def response(self) -> Optional[InferenceResponse]:
+        """The delivered response, or ``None`` while still pending."""
+        return self._entry.response if self._entry.event.is_set() else None
+
+    def result(self, timeout: float) -> InferenceResponse:
+        """Block (bounded) for the response; raises ``TimeoutError`` if
+        it has not arrived within ``timeout`` real seconds."""
+        if not self._entry.event.wait(timeout=timeout):
+            raise TimeoutError(
+                f"request {self.request_id!r}: no response within "
+                f"{timeout}s (server stalled or deadline budget "
+                "misconfigured)"
+            )
+        response = self._entry.response
+        assert response is not None
+        return response
+
+
+class PendingRequestTable:
+    """The table of in-flight requests, keyed by request id."""
+
+    def __init__(
+        self,
+        on_deliver: Optional[Callable[[InferenceResponse], None]] = None,
+        done_capacity: int = 4096,
+    ) -> None:
+        if done_capacity <= 0:
+            raise ValueError(f"done_capacity must be positive, "
+                             f"got {done_capacity}")
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+        self._heap: List[_Entry] = []
+        self._seq = 0
+        self._done: "OrderedDict[str, str]" = OrderedDict()  # id -> status
+        self._done_capacity = done_capacity
+        self.on_deliver = on_deliver
+        self.duplicates_suppressed = 0
+        self.delivered_counts: Dict[str, int] = {}
+
+    # -- registration --------------------------------------------------
+    def add(self, request: InferenceRequest) -> Handle:
+        """Register a request; returns the client's :class:`Handle`.
+
+        A request id that is already pending (or already answered and
+        still in duplicate-suppression memory) is a client protocol
+        violation and raises ``ValueError`` — ids are the idempotency
+        key, so reusing one would make "exactly once" unverifiable.
+        """
+        with self._lock:
+            rid = request.request_id
+            if rid in self._entries or rid in self._done:
+                raise ValueError(f"request id {rid!r} already in flight "
+                                 "or recently answered")
+            entry = _Entry(request, self._seq)
+            self._seq += 1
+            self._entries[rid] = entry
+            heapq.heappush(self._heap, entry)
+            return Handle(entry)
+
+    # -- delivery ------------------------------------------------------
+    def deliver(self, response: InferenceResponse) -> bool:
+        """Deliver the final response for a request id (idempotent).
+
+        Returns True if this call won (the client sees *this* response);
+        False if a response was already delivered — the duplicate is
+        suppressed and counted, never surfaced to the client.
+        """
+        rid = response.request_id
+        with self._lock:
+            entry = self._entries.pop(rid, None)
+            if entry is None:
+                self.duplicates_suppressed += 1
+                return False
+            entry.response = response
+            entry.delivered = True
+            self._done[rid] = response.status
+            self._done.move_to_end(rid)
+            while len(self._done) > self._done_capacity:
+                self._done.popitem(last=False)
+            self.delivered_counts[response.status] = (
+                self.delivered_counts.get(response.status, 0) + 1
+            )
+        # Wake the client and notify observers outside the lock: the
+        # callback is arbitrary harness code and must not run under the
+        # table's mutex.
+        entry.event.set()
+        if self.on_deliver is not None:
+            self.on_deliver(response)
+        return True
+
+    # -- eviction ------------------------------------------------------
+    def evict_expired(self, now: float) -> List[InferenceResponse]:
+        """Time out every entry whose deadline has passed (deadline
+        order, ties by arrival sequence).  A request is live through its
+        deadline instant: eviction requires ``now > deadline``."""
+        expired: List[_Entry] = []
+        with self._lock:
+            while self._heap:
+                head = self._heap[0]
+                if head.delivered:
+                    heapq.heappop(self._heap)  # lazy-deleted node
+                    continue
+                if head.request.deadline >= now:
+                    break
+                expired.append(heapq.heappop(self._heap))
+        responses = []
+        for entry in expired:
+            response = InferenceResponse(
+                request_id=entry.request.request_id,
+                status=STATUS_TIMEOUT,
+                detail=(
+                    f"deadline {entry.request.deadline:.6f} passed at "
+                    f"{now:.6f} before a batch completed"
+                ),
+                completed_at=now,
+                latency=now - entry.request.submitted_at,
+            )
+            if self.deliver(response):
+                responses.append(response)
+        return responses
+
+    # -- introspection -------------------------------------------------
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def is_pending(self, request_id: str) -> bool:
+        with self._lock:
+            return request_id in self._entries
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "pending": len(self._entries),
+                "delivered": dict(self.delivered_counts),
+                "duplicates_suppressed": self.duplicates_suppressed,
+            }

@@ -1,0 +1,85 @@
+"""Request/response records for the serve runtime.
+
+The response vocabulary is the degradation ladder made explicit: every
+request admitted *or rejected* terminates in exactly one coded
+:class:`InferenceResponse` — there is no silent-drop path.  The
+servecheck certifier (SV101/SV102) audits that invariant by counting
+deliveries per request id over a whole chaos trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+#: Response status codes (the only legal values of
+#: :attr:`InferenceResponse.status`).  Ordered by the degradation
+#: ladder: serve > shed > timeout > quarantine > error.
+STATUS_OK = "ok"
+STATUS_SHED = "shed"                        # admission rejected (overload)
+STATUS_TIMEOUT = "timeout"                  # deadline passed before delivery
+STATUS_QUARANTINED_INPUT = "quarantined-input"    # NaN/Inf in the sample
+STATUS_QUARANTINED_OUTPUT = "quarantined-output"  # NaN/Inf in the logits
+STATUS_ERROR = "error"                      # executor fault, retries exhausted
+
+ALL_STATUSES = (
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    STATUS_QUARANTINED_INPUT,
+    STATUS_QUARANTINED_OUTPUT,
+    STATUS_ERROR,
+)
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One single-sample inference request.
+
+    ``deadline`` is an absolute instant on the serve clock's axis; the
+    runtime never reads wall-clock to interpret it (SV004).  ``sample``
+    is a ``(C, H, W)`` array matching the model's data-layer shape.
+    """
+
+    request_id: str
+    sample: np.ndarray
+    deadline: float
+    submitted_at: float
+
+    def __post_init__(self) -> None:
+        if self.deadline < self.submitted_at:
+            raise ValueError(
+                f"request {self.request_id!r}: deadline {self.deadline} "
+                f"precedes submission time {self.submitted_at}"
+            )
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """The single, final answer for one request id."""
+
+    request_id: str
+    status: str
+    output: Optional[np.ndarray] = None   # logits row; None unless "ok"
+    detail: str = ""
+    completed_at: float = 0.0
+    batch_index: Optional[int] = None     # which served batch computed it
+    latency: float = field(default=0.0)   # completed_at - submitted_at
+
+    def __post_init__(self) -> None:
+        if self.status not in ALL_STATUSES:
+            raise ValueError(
+                f"unknown response status {self.status!r}; "
+                f"expected one of {ALL_STATUSES}"
+            )
+        if self.status == STATUS_OK and self.output is None:
+            raise ValueError(
+                f"request {self.request_id!r}: an 'ok' response must "
+                "carry an output row"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK

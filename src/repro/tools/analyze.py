@@ -13,6 +13,8 @@ identical::
         --threads 8 --emit-plan lenet.plan.json               # PL
     python -m repro.tools.analyze fusecheck --gate            # FU
     python -m repro.tools.analyze synccheck --gate            # SY
+    python -m repro.tools.analyze perfcheck --gate            # PE
+    python -m repro.tools.analyze servecheck --gate           # SV
     python -m repro.tools.analyze --list-codes
     python -m repro.tools.analyze --check-codes
 

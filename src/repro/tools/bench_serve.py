@@ -1,0 +1,294 @@
+"""Serving load generator (``BENCH_serve.json``).
+
+Drives the :mod:`repro.serve` stack with an open-loop request stream on
+the *real* monotonic clock — the background dispatcher, not the pumped
+certification mode — and records latency percentiles and throughput
+for two regimes per (net, team width):
+
+* **healthy** — the plain trace;
+* **chaos** — the same trace with an injected worker crash
+  (:class:`~repro.resilience.faults.ChunkAbort`), a straggler chunk
+  (:class:`~repro.resilience.faults.SlowChunk`), one poisoned NaN
+  sample (:class:`~repro.resilience.faults.PoisonSample`) and a
+  request storm past admission capacity
+  (:class:`~repro.resilience.faults.RequestStorm`).
+
+The robustness contract is enforced, not just measured: the run exits
+nonzero if any request is lost (no response) or answered more than
+once, in either regime.  ``--gate-latency`` additionally fails the run
+when the healthy p99 exceeds the per-request deadline budget
+(wall-clock gating flakes on loaded hosts, so it is opt-in, mirroring
+perfcheck's ``--timing-warn-only`` stance).
+
+Example::
+
+    python -m repro.tools.bench_serve --requests 1000 \\
+        --out BENCH_serve.json
+    python -m repro.tools.bench_serve --nets mlp --threads 2 --json
+
+The committed ``BENCH_serve.json`` at the repo root is the output of
+the default invocation on the CI container, in the ``repro-bench/1``
+envelope (see :mod:`repro.bench.schema`).  BLAS pools are pinned to 1
+before numpy loads, like every other bench tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.pinning import pin_blas_threads
+
+#: Must run before the numpy-importing repro imports below, or the BLAS
+#: pools have already sized themselves from the ambient environment.
+_BLAS_PIN = pin_blas_threads()
+
+import numpy as np  # noqa: E402
+
+from repro.bench.schema import dump_bench, envelope  # noqa: E402
+from repro.resilience.faults import (  # noqa: E402
+    ChunkAbort,
+    FaultPlan,
+    PoisonSample,
+    RequestStorm,
+    SlowChunk,
+)
+from repro.serve import (  # noqa: E402
+    InferenceEngine,
+    InferenceServer,
+    RequestTrace,
+    chaos,
+)
+from repro.zoo import build_net  # noqa: E402
+
+DEFAULT_NETS = ("mlp", "lenet")
+DEFAULT_THREADS = (2,)
+DEFAULT_REQUESTS = 1000
+DEFAULT_BUDGET_S = 0.5
+DEFAULT_MEAN_GAP_S = 0.002
+
+
+def _percentile_ms(latencies, q):
+    if not latencies:
+        return None
+    return round(float(np.percentile(np.asarray(latencies), q)) * 1e3, 3)
+
+
+def _first_parallel_layer(net) -> str:
+    for layer in net.layers:
+        if layer.blobs:
+            return layer.name
+    return net.layer_names[-1]
+
+
+def _run_regime(name, threads, trace, regime, max_batch, capacity,
+                budget, seed, log):
+    """One open-loop replay on the real clock; returns the regime record."""
+    deliveries = {}
+
+    def record(resp):
+        deliveries.setdefault(resp.request_id, []).append(resp)
+
+    engine = InferenceEngine(
+        lambda: build_net(name, phase="TEST"),
+        num_threads=threads, max_batch=max_batch,
+        record_batches=False,   # 1k batches of images: skip the log
+    )
+    server = InferenceServer(engine, capacity=capacity, on_deliver=record)
+    harness_ctx = None
+    if regime == "chaos":
+        target = _first_parallel_layer(engine.net)
+        n = len(trace)
+        plan = FaultPlan(
+            ChunkAbort(layer=target, iteration=max(1, n // (4 * max_batch))),
+            SlowChunk(layer=target, batch=max(2, n // (2 * max_batch)),
+                      delay_s=min(0.05, budget / 4)),
+            PoisonSample(request=n // 3),
+            RequestStorm(at_request=(2 * n) // 3,
+                         count=capacity + max_batch),
+        )
+        harness_ctx = chaos(engine, plan)
+    submitted = []
+    try:
+        harness = harness_ctx.__enter__() if harness_ctx else None
+        server.start()
+        start = time.monotonic()
+        for event in trace.events:
+            lag = (start + event.offset) - time.monotonic()
+            if lag > 0:
+                time.sleep(lag)
+            sample = trace.sample_for(event)
+            if harness is not None:
+                sample = harness.poison_sample(event.index, sample)
+            server.submit(sample, budget=event.budget,
+                          request_id=event.request_id)
+            submitted.append(event.request_id)
+            if harness is not None:
+                for burst in range(harness.storm_count(event.index)):
+                    storm_id = f"{event.request_id}::storm{burst}"
+                    server.submit(trace.sample_for(event),
+                                  budget=event.budget,
+                                  request_id=storm_id)
+                    submitted.append(storm_id)
+        drained = server.drain(timeout=max(30.0, 4 * budget))
+        elapsed = time.monotonic() - start
+        server.stop()
+    finally:
+        if harness_ctx:
+            harness_ctx.__exit__(None, None, None)
+        engine.close()
+
+    lost = [rid for rid in submitted if rid not in deliveries]
+    duplicated = {rid: len(rs) for rid, rs in deliveries.items()
+                  if len(rs) > 1}
+    statuses = {}
+    ok_latencies = []
+    for responses in deliveries.values():
+        resp = responses[0]
+        statuses[resp.status] = statuses.get(resp.status, 0) + 1
+        if resp.status == "ok":
+            ok_latencies.append(resp.latency)
+    stats = server.stats()
+    record_out = {
+        "requests": len(submitted),
+        "lost": len(lost),
+        "duplicated": len(duplicated),
+        "drained": drained,
+        "statuses": dict(sorted(statuses.items())),
+        "p50_ms": _percentile_ms(ok_latencies, 50),
+        "p90_ms": _percentile_ms(ok_latencies, 90),
+        "p99_ms": _percentile_ms(ok_latencies, 99),
+        "throughput_rps": round(len(deliveries) / elapsed, 1)
+        if elapsed > 0 else None,
+        "deadline_budget_ms": round(budget * 1e3, 1),
+        "shed": stats["shed"],
+        "restarts": stats["engine_restarts"],
+        "batches": stats["batches_served"],
+        "queue_high_water": stats["queue_high_water"],
+    }
+    log(f"  {name} T={threads} {regime}: {len(submitted)} requests, "
+        f"p50/p90/p99 = {record_out['p50_ms']}/{record_out['p90_ms']}/"
+        f"{record_out['p99_ms']} ms, {record_out['throughput_rps']} req/s, "
+        f"{len(lost)} lost, {len(duplicated)} dup, "
+        f"{stats['engine_restarts']} restart(s), {stats['shed']} shed")
+    return record_out, lost, duplicated
+
+
+def bench_net(name, threads, requests, budget, mean_gap, seed, log):
+    """Healthy + chaos regimes at every team width for one net."""
+    violations = []
+    per_team = {}
+    for team in threads:
+        entry = {}
+        for regime in ("healthy", "chaos"):
+            # A fresh engine per regime; the identical seeded trace.
+            probe = build_net(name, phase="TEST")
+            from repro.serve.engine import _swap_in_staged_sources
+
+            shape = _swap_in_staged_sources(probe, 1)[0].shape
+            trace = RequestTrace.generate(
+                requests, shape, seed=seed, mean_interarrival=mean_gap,
+                budget=budget,
+            )
+            record, lost, duplicated = _run_regime(
+                name, team, trace, regime, max_batch=8,
+                capacity=64, budget=budget, seed=seed, log=log,
+            )
+            entry[regime] = record
+            if lost or duplicated:
+                violations.append((name, team, regime, len(lost),
+                                   len(duplicated)))
+        per_team[str(team)] = entry
+    return {"requests": requests, "budget_s": budget,
+            "threads": per_team}, violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.bench_serve")
+    parser.add_argument("--nets", default=",".join(DEFAULT_NETS),
+                        help="comma-separated zoo nets "
+                             f"(default {','.join(DEFAULT_NETS)})")
+    parser.add_argument("--threads", default=",".join(
+                            str(t) for t in DEFAULT_THREADS),
+                        help="comma-separated team widths (default "
+                             f"{','.join(str(t) for t in DEFAULT_THREADS)})")
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS,
+                        help="trace length per regime "
+                             f"(default {DEFAULT_REQUESTS}; the chaos "
+                             "storm adds more)")
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET_S,
+                        help="per-request deadline budget in seconds "
+                             f"(default {DEFAULT_BUDGET_S})")
+    parser.add_argument("--mean-gap", type=float,
+                        default=DEFAULT_MEAN_GAP_S,
+                        help="mean inter-arrival gap in seconds "
+                             f"(default {DEFAULT_MEAN_GAP_S})")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace seed (default 0)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON report to stdout")
+    parser.add_argument("--gate-latency", action="store_true",
+                        help="also fail when the healthy p99 exceeds the "
+                             "deadline budget (opt-in: wall-clock gating "
+                             "flakes on loaded hosts)")
+    args = parser.parse_args(argv)
+
+    if args.requests < 10:
+        parser.error(f"--requests must be >= 10, got {args.requests}")
+    if args.budget <= 0:
+        parser.error(f"--budget must be > 0, got {args.budget}")
+
+    nets = [n for n in args.nets.split(",") if n]
+    threads = [int(t) for t in args.threads.split(",") if t]
+
+    per_net = {}
+    all_violations = []
+    for name in nets:
+        print(f"load-testing {name} ({args.requests} requests/regime, "
+              f"budget {args.budget}s) ...")
+        per_net[name], violations = bench_net(
+            name, threads, args.requests, args.budget, args.mean_gap,
+            args.seed, log=print,
+        )
+        all_violations.extend(violations)
+
+    result = envelope(
+        kind="serve",
+        timer={"iters": args.requests, "warmup": 0,
+               "clock": "monotonic", "blas": _BLAS_PIN},
+        nets=per_net,
+    )
+
+    if args.out:
+        dump_bench(result, args.out)
+        print(f"report written to {args.out}")
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+
+    status = 0
+    if all_violations:
+        for name, team, regime, lost, dup in all_violations:
+            print(f"ROBUSTNESS VIOLATION {name} T={team} {regime}: "
+                  f"{lost} lost, {dup} duplicated", file=sys.stderr)
+        status = 1
+    if args.gate_latency:
+        for name, data in result["nets"].items():
+            for team, entry in data["threads"].items():
+                healthy = entry["healthy"]
+                p99 = healthy["p99_ms"]
+                if p99 is not None and \
+                        p99 > healthy["deadline_budget_ms"]:
+                    print(f"LATENCY GATE {name} T={team}: healthy p99 "
+                          f"{p99}ms exceeds the "
+                          f"{healthy['deadline_budget_ms']}ms budget",
+                          file=sys.stderr)
+                    status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

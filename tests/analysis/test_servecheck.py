@@ -1,0 +1,150 @@
+"""servecheck: SV static rules fire on seeded defects; certification
+passes on the real serve stack."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.codes import CODE_CATALOGUE
+from repro.analysis.servecheck import (
+    certify_config,
+    lint_serve,
+    run_servecheck,
+)
+
+
+def _write_pkg(tmp_path, name, body):
+    pkg = tmp_path / "fakeserve"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / name).write_text(textwrap.dedent(body))
+    return pkg
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestStaticRules:
+    def test_sv001_unbounded_queue(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "bad.py", """
+            import queue
+            q = queue.Queue()
+        """)
+        findings = lint_serve(pkg)
+        assert "SV001" in _rules(findings)
+
+    def test_sv001_silent_drop_deque(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "bad.py", """
+            from collections import deque
+            buffer = deque(maxlen=100)
+        """)
+        findings = [f for f in lint_serve(pkg) if f.rule == "SV001"]
+        assert findings and "silently" in findings[0].message
+
+    def test_sv001_bare_deque_outside_boundeddeque(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "bad.py", """
+            from collections import deque
+            class SomethingElse:
+                def __init__(self):
+                    self.items = deque()
+        """)
+        assert "SV001" in _rules(lint_serve(pkg))
+
+    def test_sv001_allows_deque_inside_boundeddeque(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "ok.py", """
+            from collections import deque
+            class BoundedDeque:
+                def __init__(self, capacity):
+                    self.capacity = capacity
+                    self._items = deque()
+        """)
+        assert "SV001" not in _rules(lint_serve(pkg))
+
+    def test_sv002_unbounded_wait_and_join(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "bad.py", """
+            def stall(event, thread):
+                event.wait()
+                thread.join()
+        """)
+        hits = [f for f in lint_serve(pkg) if f.rule == "SV002"]
+        assert len(hits) == 2
+
+    def test_sv002_allows_bounded_waits(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "ok.py", """
+            def bounded(event, thread):
+                event.wait(timeout=0.1)
+                thread.join(5.0)
+        """)
+        assert "SV002" not in _rules(lint_serve(pkg))
+
+    def test_sv004_wall_clock_read(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "bad.py", """
+            import time
+            def now():
+                return time.monotonic()
+        """)
+        hits = [f for f in lint_serve(pkg) if f.rule == "SV004"]
+        assert len(hits) == 2  # the import and the attribute read
+
+    def test_sv004_exempts_clock_module(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "clock.py", """
+            import time
+            def now():
+                return time.monotonic()
+        """)
+        assert "SV004" not in _rules(lint_serve(pkg))
+
+    def test_sv005_bare_except_and_except_pass(self, tmp_path):
+        pkg = _write_pkg(tmp_path, "bad.py", """
+            def swallow():
+                try:
+                    risky()
+                except:
+                    handle()
+                try:
+                    risky()
+                except ValueError:
+                    pass
+        """)
+        hits = [f for f in lint_serve(pkg) if f.rule == "SV005"]
+        assert len(hits) == 2
+
+    def test_real_serve_package_is_clean(self):
+        errors = [f for f in lint_serve() if f.severity == "error"]
+        assert errors == []
+
+    def test_sv_codes_registered(self):
+        for code in ("SV001", "SV002", "SV003", "SV004", "SV005",
+                     "SV101", "SV102", "SV103", "SV104", "SV105"):
+            assert code in CODE_CATALOGUE
+
+
+class TestCertification:
+    def test_mlp_healthy_and_chaos_certify(self):
+        findings, outcomes = certify_config("mlp", 2, requests=24)
+        errors = [f for f in findings if f.severity == "error"]
+        assert errors == []
+        regimes = {o.regime for o in outcomes}
+        assert regimes == {"healthy", "chaos"}
+        chaos = next(o for o in outcomes if o.regime == "chaos")
+        assert chaos.restarts >= 1
+        assert chaos.reloads >= 1
+        assert chaos.status_counts.get("quarantined-input", 0) == 1
+        healthy = next(o for o in outcomes if o.regime == "healthy")
+        assert set(healthy.status_counts) == {"ok"}
+
+    def test_report_gates_and_summary(self):
+        report = run_servecheck(nets=("mlp",), threads=(1,), requests=15)
+        assert report.ok
+        lines = report.summary_lines()
+        assert lines[-1] == "servecheck: OK"
+        assert any("chaos" in line for line in lines)
+        doc = report.to_json()
+        assert doc["ok"] is True
+        assert len(doc["replays"]) == 2
+
+    def test_static_only_skips_replays(self):
+        report = run_servecheck(static_only=True)
+        assert report.replays == []
+        assert report.ok

@@ -371,3 +371,83 @@ class TestWatchdog:
             team.parallel(lambda ctx: ctx.barrier())
             assert team._last_sync[0] is not None
             assert team._last_sync[1] is not None
+
+
+class TestLifecycle:
+    """shutdown() idempotence and restart() — the serving supervisor's
+    recovery primitives."""
+
+    def test_double_shutdown_is_idempotent(self):
+        team = ThreadTeam(4)
+        team.shutdown()
+        team.shutdown()  # must not hang or raise
+        with pytest.raises(RuntimeError, match="shut down"):
+            team.parallel(lambda ctx: None)
+
+    def test_shutdown_from_another_thread(self):
+        # The serving watchdog calls shutdown from its own (non-master)
+        # thread after an abort; this must not deadlock.
+        team = ThreadTeam(4)
+        with pytest.raises(WorkerError):
+            team.parallel(lambda ctx: 1 / 0)
+        errors = []
+
+        def watchdog():
+            try:
+                team.shutdown()
+            except BaseException as exc:  # noqa: BLE001 - test recorder
+                errors.append(exc)
+
+        thread = threading.Thread(target=watchdog)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "shutdown deadlocked off-master"
+        assert errors == []
+
+    def test_restart_after_shutdown_runs_regions(self):
+        team = ThreadTeam(4)
+        team.shutdown()
+        team.restart()
+        try:
+            seen = [False] * 4
+            team.parallel(lambda ctx: seen.__setitem__(ctx.thread_id, True))
+            assert all(seen)
+        finally:
+            team.shutdown()
+
+    def test_abort_restart_run(self):
+        team = ThreadTeam(4)
+        try:
+            with pytest.raises(WorkerError):
+                team.parallel(lambda ctx: 1 / 0)
+            team.restart()
+            order = []
+            team.parallel(
+                lambda ctx: ctx.ordered(lambda: order.append(ctx.thread_id))
+            )
+            assert order == [0, 1, 2, 3]
+        finally:
+            team.shutdown()
+
+    def test_restart_without_shutdown(self):
+        # restart() on a live team recycles it in place.
+        team = ThreadTeam(2)
+        try:
+            team.parallel(lambda ctx: None)
+            team.restart()
+            out = np.zeros(10)
+            team.parallel_for(10, lambda lo, hi, tid: out[lo:hi].fill(1))
+            assert out.all()
+        finally:
+            team.shutdown()
+
+    def test_repeated_restarts(self):
+        team = ThreadTeam(2)
+        try:
+            for _ in range(3):
+                team.restart()
+                total = []
+                team.parallel(lambda ctx: total.append(1))
+                assert len(total) == 2
+        finally:
+            team.shutdown()

@@ -235,3 +235,45 @@ class TestNetSave:
             fresh.net.learnable_params, solver.net.learnable_params
         ):
             np.testing.assert_array_equal(got.flat_data, want.flat_data)
+
+
+class TestHeaderTruncation:
+    """Torn writes that cut the file before the header ends must surface
+    as CheckpointFormatError naming the path and byte count — never as a
+    bare struct.error / EOFError from the header unpack."""
+
+    def _container(self, tmp_path):
+        path = str(tmp_path / "state.rckp")
+        write_container(path, b"payload-bytes-for-truncation")
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        assert len(blob) > _HEADER.size
+        return path, blob
+
+    @pytest.mark.parametrize("cut", list(range(_HEADER.size)))
+    def test_every_header_boundary_is_coded(self, tmp_path, cut):
+        path, blob = self._container(tmp_path)
+        with open(path, "wb") as fh:
+            fh.write(blob[:cut])
+        with pytest.raises(CheckpointFormatError) as excinfo:
+            read_container(path)
+        message = str(excinfo.value)
+        assert path in message
+        assert f"{cut} byte(s)" in message
+
+    def test_zero_length_file_is_coded(self, tmp_path):
+        path = str(tmp_path / "empty.rckp")
+        with open(path, "wb"):
+            pass
+        with pytest.raises(CheckpointFormatError, match="0 byte"):
+            read_container(path)
+
+    @pytest.mark.parametrize("keep_extra", [0, 1, 7])
+    def test_post_header_truncation_stays_coded(self, tmp_path, keep_extra):
+        """Cuts past the header are the existing payload-truncation
+        path: still a coded checkpoint error, never struct/EOF."""
+        path, blob = self._container(tmp_path)
+        with open(path, "wb") as fh:
+            fh.write(blob[:_HEADER.size + keep_extra])
+        with pytest.raises((CheckpointFormatError, CheckpointCorrupt)):
+            read_container(path)

@@ -1,0 +1,155 @@
+"""Pending-request table: deadlines, eviction order, idempotent delivery."""
+
+import numpy as np
+import pytest
+
+from repro.serve.pit import PendingRequestTable
+from repro.serve.request import (
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    InferenceRequest,
+    InferenceResponse,
+)
+
+
+def _request(rid, deadline, submitted_at=0.0):
+    return InferenceRequest(
+        request_id=rid,
+        sample=np.zeros(2, dtype=np.float32),
+        deadline=deadline,
+        submitted_at=submitted_at,
+    )
+
+
+def _ok(rid, at=1.0):
+    return InferenceResponse(
+        request_id=rid, status=STATUS_OK,
+        output=np.ones(3, dtype=np.float32),
+        completed_at=at, latency=at,
+    )
+
+
+class TestDelivery:
+    def test_single_delivery_wins(self):
+        pit = PendingRequestTable()
+        handle = pit.add(_request("a", deadline=5.0))
+        assert pit.deliver(_ok("a"))
+        assert handle.done
+        assert handle.response().status == STATUS_OK
+
+    def test_duplicate_delivery_suppressed(self):
+        pit = PendingRequestTable()
+        handle = pit.add(_request("a", deadline=5.0))
+        first = _ok("a", at=1.0)
+        second = _ok("a", at=2.0)
+        assert pit.deliver(first)
+        assert not pit.deliver(second)
+        assert pit.duplicates_suppressed == 1
+        # The client sees the first response, not the straggler.
+        assert handle.response().completed_at == 1.0
+
+    def test_duplicate_request_id_rejected(self):
+        pit = PendingRequestTable()
+        pit.add(_request("a", deadline=5.0))
+        with pytest.raises(ValueError, match="already in flight"):
+            pit.add(_request("a", deadline=9.0))
+
+    def test_recently_answered_id_rejected(self):
+        pit = PendingRequestTable()
+        pit.add(_request("a", deadline=5.0))
+        pit.deliver(_ok("a"))
+        with pytest.raises(ValueError, match="recently answered"):
+            pit.add(_request("a", deadline=9.0))
+
+    def test_on_deliver_observer(self):
+        seen = []
+        pit = PendingRequestTable(on_deliver=seen.append)
+        pit.add(_request("a", deadline=5.0))
+        pit.deliver(_ok("a"))
+        pit.deliver(_ok("a"))  # duplicate: observer not re-notified
+        assert [r.request_id for r in seen] == ["a"]
+
+    def test_done_memory_is_bounded(self):
+        pit = PendingRequestTable(done_capacity=2)
+        for rid in ("a", "b", "c"):
+            pit.add(_request(rid, deadline=5.0))
+            pit.deliver(_ok(rid))
+        # "a" aged out of suppression memory, so its id is reusable.
+        pit.add(_request("a", deadline=9.0))
+        with pytest.raises(ValueError):
+            pit.add(_request("c", deadline=9.0))
+
+
+class TestEviction:
+    def test_eviction_is_deadline_ordered(self):
+        pit = PendingRequestTable()
+        # Insert out of deadline order.
+        pit.add(_request("late", deadline=3.0))
+        pit.add(_request("early", deadline=1.0))
+        pit.add(_request("mid", deadline=2.0))
+        evicted = pit.evict_expired(now=10.0)
+        assert [r.request_id for r in evicted] == ["early", "mid", "late"]
+        assert all(r.status == STATUS_TIMEOUT for r in evicted)
+
+    def test_ties_break_by_arrival_sequence(self):
+        pit = PendingRequestTable()
+        pit.add(_request("first", deadline=1.0))
+        pit.add(_request("second", deadline=1.0))
+        evicted = pit.evict_expired(now=2.0)
+        assert [r.request_id for r in evicted] == ["first", "second"]
+
+    def test_live_through_deadline_instant(self):
+        pit = PendingRequestTable()
+        pit.add(_request("a", deadline=1.0))
+        # At exactly the deadline the request is still live.
+        assert pit.evict_expired(now=1.0) == []
+        assert pit.is_pending("a")
+        assert len(pit.evict_expired(now=1.0000001)) == 1
+
+    def test_partial_eviction_leaves_future_deadlines(self):
+        pit = PendingRequestTable()
+        pit.add(_request("a", deadline=1.0))
+        pit.add(_request("b", deadline=5.0))
+        evicted = pit.evict_expired(now=2.0)
+        assert [r.request_id for r in evicted] == ["a"]
+        assert pit.is_pending("b")
+        assert pit.pending_count() == 1
+
+    def test_delivered_entries_skip_eviction(self):
+        pit = PendingRequestTable()
+        pit.add(_request("a", deadline=1.0))
+        pit.deliver(_ok("a"))
+        assert pit.evict_expired(now=10.0) == []
+        assert pit.duplicates_suppressed == 0
+
+    def test_eviction_is_idempotent_delivery(self):
+        pit = PendingRequestTable()
+        handle = pit.add(_request("a", deadline=1.0))
+        pit.evict_expired(now=2.0)
+        # A straggling batch result after eviction is suppressed.
+        assert not pit.deliver(_ok("a"))
+        assert handle.response().status == STATUS_TIMEOUT
+        assert pit.duplicates_suppressed == 1
+
+
+class TestHandle:
+    def test_result_requires_timeout_and_raises(self):
+        pit = PendingRequestTable()
+        handle = pit.add(_request("a", deadline=5.0))
+        with pytest.raises(TimeoutError, match="no response within"):
+            handle.result(timeout=0.01)
+
+    def test_response_none_while_pending(self):
+        pit = PendingRequestTable()
+        handle = pit.add(_request("a", deadline=5.0))
+        assert handle.response() is None
+        assert not handle.done
+
+    def test_stats(self):
+        pit = PendingRequestTable()
+        pit.add(_request("a", deadline=5.0))
+        pit.add(_request("b", deadline=5.0))
+        pit.deliver(_ok("a"))
+        stats = pit.stats()
+        assert stats["pending"] == 1
+        assert stats["delivered"] == {STATUS_OK: 1}
